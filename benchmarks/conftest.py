@@ -1,0 +1,33 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every benchmark file reproduces one table or figure of the paper (see the
+per-experiment index in DESIGN.md).  The measured artifacts — partition sizes,
+chain lengths, speedup tables — are printed so they can be compared with the
+paper and recorded in EXPERIMENTS.md; pytest-benchmark additionally times the
+reproduction itself.
+
+The problem sizes default to scaled-down versions of the paper's parameters so
+the exact (enumeration-based) dependence analysis completes in seconds; the
+claims being checked (who wins, where the crossovers are, which sets are
+empty) are size-stable, and EXPERIMENTS.md records the parameters used.
+"""
+
+import json
+
+import pytest
+
+
+def emit(title, payload):
+    """Print one experiment's reproduced numbers in a stable, greppable form."""
+    print(f"\n=== {title} ===")
+    print(json.dumps(payload, indent=2, default=str))
+
+
+@pytest.fixture
+def report():
+    return emit
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an expensive reproduction exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

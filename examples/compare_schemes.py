@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Scheme comparison: reproduce the four panels of the paper's figure 3.
+
+For each of the paper's four example loops, build the REC schedule and the
+published competitor schedules (PDM, PL, UNIQUE, PAR, DOACROSS), validate them
+against the exact dependences, and print the simulated 1–4 CPU speedup tables —
+the reproduction of figure 3.  Sizes are scaled down so the exact analysis
+finishes in seconds; pass ``--full`` to use sizes closer to the paper's.
+"""
+
+import argparse
+
+from repro.analysis.experiments import run_figure3_experiment
+from repro.analysis.report import format_speedups
+
+PANELS = {
+    "ex1": ("Example 1 (figure-1 loop): REC vs PDM vs PL", {"N1": 40, "N2": 120}, {"N1": 100, "N2": 300}),
+    "ex2": ("Example 2 (Ju & Chaudhary): REC vs UNIQUE", {"N": 60}, {"N": 120}),
+    "ex3": ("Example 3 (Chen & Yew, imperfect nest): REC vs PAR vs DOACROSS", {"N": 40}, {"N": 80}),
+    "ex4": ("Example 4 (Cholesky): REC dataflow vs PDM", {"NMAT": 3, "M": 4, "N": 24, "NRHS": 1},
+            {"NMAT": 4, "M": 4, "N": 40, "NRHS": 2}),
+}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true", help="use larger problem sizes")
+    parser.add_argument("--panel", choices=sorted(PANELS), help="run a single panel")
+    args = parser.parse_args()
+
+    keys = [args.panel] if args.panel else list(PANELS)
+    for key in keys:
+        title, small, full = PANELS[key]
+        sizes = full if args.full else small
+        print(f"\n=== Figure 3 / {title} ===")
+        print(f"sizes: {sizes}")
+        result = run_figure3_experiment(key, sizes, validate=(key != "ex4"))
+        print(format_speedups(result))
+        print(f"phases per scheme: {result['phases']}")
+        print(f"winner per CPU count: {result['winner_at']}")
+
+
+if __name__ == "__main__":
+    main()

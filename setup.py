@@ -1,0 +1,15 @@
+"""Setuptools entry point (kept for environments without PEP 660 support)."""
+from setuptools import setup, find_packages
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Non-Uniform Dependences Partitioned by Recurrence "
+        "Chains' (Yu & D'Hollander, ICPP 2004)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+)

@@ -1,0 +1,58 @@
+"""repro — a reproduction of "Non-Uniform Dependences Partitioned by Recurrence
+Chains" (Yijun Yu & Erik H. D'Hollander, ICPP 2004).
+
+The package parallelizes loop nests whose coupled affine array subscripts
+produce *non-uniform* dependence distances.  The central idea (recurrence
+chain partitioning) splits the iteration space into an initial fully parallel
+set, an intermediate set of disjoint monotonic recurrence chains executed as
+WHILE loops, and a final fully parallel set — exposing outermost DOALL
+parallelism that uniformization-based schemes (PDM, direction vectors) and
+DOACROSS-style schemes cannot reach.
+
+Sub-packages
+============
+
+================  ============================================================
+``repro.isl``     exact integer sets, relations, Fourier–Motzkin, diophantine
+                  solving (the Omega-library substitute)
+``repro.ir``      the loop-nest IR (affine bounds, affine references)
+``repro.dependence``  exact and conservative dependence analysis
+``repro.core``    the paper's contribution: three-set partitioning, recurrence
+                  chains, dataflow partitioning, Algorithm 1, Theorem 1
+``repro.codegen`` DOALL/WHILE code generation (Python and pseudo-Fortran)
+``repro.runtime`` executors, SMP cost-model simulator, validation, metrics
+``repro.baselines``  PDM, PL, unique sets, DOACROSS, tiling, inner-DOALL
+``repro.workloads``  the paper's example loops and synthetic corpora
+``repro.analysis``   statistics, experiment harness, reporting
+================  ============================================================
+
+Quick start
+===========
+
+>>> from repro.workloads import figure1_loop
+>>> from repro.core import recurrence_chain_partition
+>>> from repro.runtime import validate_schedule
+>>> prog = figure1_loop(10, 10)
+>>> result = recurrence_chain_partition(prog)
+>>> result.schedule.num_phases
+3
+>>> validate_schedule(prog, result.schedule, {}).ok
+True
+"""
+
+from . import analysis, baselines, codegen, core, dependence, ir, isl, runtime, workloads
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "baselines",
+    "core",
+    "codegen",
+    "dependence",
+    "ir",
+    "isl",
+    "runtime",
+    "workloads",
+    "__version__",
+]

@@ -1,0 +1,49 @@
+"""Plain-text report formatting for experiment results.
+
+The benchmark harness and the examples print small fixed-width tables so the
+reproduced numbers can be compared against the paper at a glance (and pasted
+into EXPERIMENTS.md).  No plotting dependencies — ASCII only.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+__all__ = ["format_table", "format_speedups", "format_dict"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Fixed-width table with a header rule."""
+    widths = [len(str(h)) for h in headers]
+    str_rows = [[str(c) for c in row] for row in rows]
+    for row in str_rows:
+        for k, cell in enumerate(row):
+            widths[k] = max(widths[k], len(cell))
+    def fmt(cells):
+        return "  ".join(str(c).ljust(w) for c, w in zip(cells, widths))
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def format_speedups(result: Mapping[str, object]) -> str:
+    """Format the output of ``run_figure3_experiment`` as a table."""
+    processors: List[int] = list(result["processors"])  # type: ignore[index]
+    speedups: Mapping[str, Sequence[float]] = result["speedups"]  # type: ignore[assignment]
+    headers = ["scheme"] + [f"p={p}" for p in processors]
+    rows = [[name] + [f"{v:.2f}" for v in values] for name, values in speedups.items()]
+    return format_table(headers, rows)
+
+
+def format_dict(data: Mapping[str, object], indent: int = 0) -> str:
+    """Readable nested-dict dump (stable key order)."""
+    lines: List[str] = []
+    pad = "  " * indent
+    for key in data:
+        value = data[key]
+        if isinstance(value, Mapping):
+            lines.append(f"{pad}{key}:")
+            lines.append(format_dict(value, indent + 1))
+        else:
+            lines.append(f"{pad}{key}: {value}")
+    return "\n".join(lines)

@@ -1,0 +1,82 @@
+"""Inner-loop parallelization baseline ("PAR" in figure 3, Example 3).
+
+The simplest credible competitor: keep the outermost loop sequential and run
+the iterations of the inner loops of each outer iteration in parallel, which
+is what a dependence test such as the POWER test licenses for Example 3 (the
+outer ``I`` loop carries the dependences, the inner ``J``/``K`` loops do not).
+The schedule has one phase (one barrier) per outer-loop iteration; the units
+of a phase are the statement instances sharing that outer iteration value.
+
+The scheme is safe whenever the outermost loop carries every dependence, which
+the constructor verifies against the exact relation and reports loudly if
+violated (in that case a coarser sequential prefix is used).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.schedule import ExecutionUnit, Instance, ParallelPhase, Schedule
+from ..core.statement import build_statement_space
+from ..dependence.analysis import DependenceAnalysis
+from ..ir.program import LoopProgram
+
+__all__ = ["inner_parallel_schedule"]
+
+Point = Tuple[int, ...]
+
+
+def inner_parallel_schedule(
+    program: LoopProgram,
+    params: Optional[Mapping[str, int]] = None,
+    analysis: Optional[DependenceAnalysis] = None,
+    sequential_depth: int = 1,
+) -> Schedule:
+    """Outer ``sequential_depth`` loops sequential, everything inside parallel.
+
+    Statement instances are grouped by the first ``sequential_depth``
+    components of their iteration vector; groups execute in ascending order
+    (one phase each), and within a group every instance is its own unit.
+    If some dependence is not carried by the sequential outer levels the
+    offending instances are merged into a single sequential unit so the
+    schedule stays correct (and the loss of parallelism is visible instead of
+    silently producing wrong code).
+    """
+    params = dict(params or {})
+    analysis = analysis or DependenceAnalysis(program, params)
+    stmt_space = build_statement_space(program, params, analysis)
+
+    def outer_key(instance: Instance) -> Tuple[int, ...]:
+        _label, iteration = instance
+        return tuple(iteration[:sequential_depth])
+
+    groups: Dict[Tuple[int, ...], List[Instance]] = {}
+    for inst in stmt_space.instances:
+        groups.setdefault(outer_key(inst), []).append(inst)
+
+    # Safety check: every dependence must either stay inside one instance or go
+    # from a strictly smaller outer key to a larger one (carried by the outer
+    # loops) — otherwise the two instances must share a sequential unit.
+    instance_of = stmt_space.instance_of()
+    conflicting: Dict[Tuple[int, ...], bool] = {}
+    for src, dst in stmt_space.rd.pairs:
+        for src_inst in instance_of[src]:
+            for dst_inst in instance_of[dst]:
+                if outer_key(src_inst) >= outer_key(dst_inst):
+                    conflicting[outer_key(dst_inst)] = True
+                    conflicting[outer_key(src_inst)] = True
+
+    phases: List[ParallelPhase] = []
+    for key in sorted(groups):
+        members = groups[key]
+        if conflicting.get(key):
+            units: Tuple[ExecutionUnit, ...] = (ExecutionUnit.block(members),)
+        else:
+            units = tuple(ExecutionUnit.block([inst]) for inst in members)
+        phases.append(ParallelPhase(f"outer{key}", units))
+    return Schedule.from_phases(
+        f"{program.name}-PAR",
+        phases,
+        scheme="inner-parallel",
+        sequential_depth=sequential_depth,
+    )

@@ -1,0 +1,71 @@
+"""Partitioning & labeling / direction-vector uniformization baseline ("PL").
+
+The PL curve of figure 3 corresponds to the classic uniform-dependence
+machinery (D'Hollander '92 partitioning and labeling, Wolf & Lam unimodular
+transformations): the non-uniform distances are abstracted into *direction
+vectors*, which — as the paper's related-work section explains — is equivalent
+to covering the dependences with the primitive (gcd-reduced) basis of the
+vector space the distances span.  That lattice is denser than the PDM's, so
+more artificial dependences are introduced, the sequential chains (labels)
+inside each partition are longer, and there are fewer independent partitions —
+which is why PL trails PDM and REC in figure 3.
+
+Mechanically the scheme is the same coset construction as PDM with a different
+generator set; see :mod:`repro.baselines.lattice`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Tuple
+
+from ..core.schedule import ExecutionUnit, Instance, ParallelPhase, Schedule
+from ..dependence.analysis import DependenceAnalysis
+from ..ir.program import LoopProgram
+from ..isl.relations import FiniteRelation
+from .lattice import DistanceLattice, direction_basis
+from .pdm import PDMPartition
+
+__all__ = ["pl_partition", "pl_schedule"]
+
+Point = Tuple[int, ...]
+
+
+def pl_partition(space, rd: FiniteRelation) -> PDMPartition:
+    """Coset partition under the primitive direction-vector lattice."""
+    dim = len(space[0]) if space else rd.dim_in
+    basis = direction_basis(sorted(rd.distances()), dim)
+    lattice = DistanceLattice.from_vectors(basis, dim)
+    cosets = lattice.cosets(space)
+    return PDMPartition(pdm=tuple(basis), cosets=cosets, lattice=lattice)
+
+
+def pl_schedule(
+    program: LoopProgram,
+    params: Optional[Mapping[str, int]] = None,
+    analysis: Optional[DependenceAnalysis] = None,
+) -> Schedule:
+    """Schedule a perfect-nest program under the PL (direction vector) scheme."""
+    params = dict(params or {})
+    analysis = analysis or DependenceAnalysis(program, params)
+    labels = [s.label for s in program.statements()]
+    space = analysis.iteration_space_points
+    rd = analysis.iteration_dependences
+    partition = pl_partition(space, rd)
+
+    units = []
+    for key in sorted(partition.cosets):
+        members = partition.cosets[key]
+        instances: List[Instance] = []
+        for point in members:
+            for label in labels:
+                instances.append((label, point))
+        units.append(ExecutionUnit.block(instances))
+    phase = ParallelPhase("PL partitions (labels executed in order)", (tuple(units)))
+    return Schedule.from_phases(
+        f"{program.name}-PL",
+        [phase],
+        scheme="pl",
+        basis=[list(v) for v in partition.pdm],
+        parallel_sets=partition.num_parallel_sets,
+        longest_chain=partition.longest_chain,
+    )

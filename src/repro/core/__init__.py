@@ -1,0 +1,75 @@
+"""repro.core — the paper's contribution: recurrence-chain partitioning.
+
+* :mod:`repro.core.partition` — the three-set partitioning of §3.1 (eq. 5),
+  concrete and symbolic;
+* :mod:`repro.core.recurrence` — the affine recurrence ``i ← i·T + u`` of
+  §3.2 and the Theorem 1 chain-length bound;
+* :mod:`repro.core.chains` — monotonic dependence chains (Definition 1) and
+  their extraction from the relation or from the recurrence (Lemma 1);
+* :mod:`repro.core.dataflow` — the iterative dataflow partitioning branch of
+  Algorithm 1 for multiple coupled subscripts with constant bounds;
+* :mod:`repro.core.statement` — the statement-level iteration space extension
+  of §3.3 for imperfectly nested loops;
+* :mod:`repro.core.partitioner` — Algorithm 1 end to end, producing a
+  :class:`~repro.core.schedule.Schedule`;
+* :mod:`repro.core.schedule` — the schedule representation shared by every
+  partitioning scheme (including the baselines).
+"""
+
+from .chains import (
+    MonotonicChain,
+    chains_from_recurrence,
+    chains_from_relation,
+    split_into_monotonic_pairs,
+    verify_disjoint_chains,
+)
+from .dataflow import DataflowPartition, dataflow_partition, dataflow_schedule
+from .partition import (
+    SymbolicThreeSetPartition,
+    ThreeSetPartition,
+    symbolic_three_set_partition,
+    three_set_partition,
+)
+from .partitioner import (
+    PartitioningNotApplicable,
+    RecurrencePartitionResult,
+    recurrence_chain_partition,
+    three_phase_schedule,
+)
+from .recurrence import (
+    AffineRecurrence,
+    chain_length_bound_holds,
+    iteration_space_diameter,
+    theorem1_bound,
+)
+from .schedule import ExecutionUnit, Instance, ParallelPhase, Schedule
+from .statement import StatementLevelSpace, build_statement_space
+
+__all__ = [
+    "ThreeSetPartition",
+    "three_set_partition",
+    "SymbolicThreeSetPartition",
+    "symbolic_three_set_partition",
+    "AffineRecurrence",
+    "theorem1_bound",
+    "iteration_space_diameter",
+    "chain_length_bound_holds",
+    "MonotonicChain",
+    "chains_from_relation",
+    "chains_from_recurrence",
+    "split_into_monotonic_pairs",
+    "verify_disjoint_chains",
+    "DataflowPartition",
+    "dataflow_partition",
+    "dataflow_schedule",
+    "StatementLevelSpace",
+    "build_statement_space",
+    "recurrence_chain_partition",
+    "RecurrencePartitionResult",
+    "PartitioningNotApplicable",
+    "three_phase_schedule",
+    "Schedule",
+    "ParallelPhase",
+    "ExecutionUnit",
+    "Instance",
+]

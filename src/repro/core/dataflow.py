@@ -1,0 +1,144 @@
+"""Iterative dataflow partitioning (the second branch of Algorithm 1).
+
+When the loop has multiple coupled reference pairs (so the intermediate set's
+chains may bifurcate and are not disjoint) but the loop bounds are known at
+compile time, the paper falls back to successive dataflow partitioning:
+
+    do while (Φ is not empty)
+        P1 = Φ \\ ran Rd          # iterations with no pending predecessor
+        emit DOALL(P1)
+        Φ  = Φ \\ P1
+        Rd = Rd restricted to Φ
+    end do
+
+Each emitted set is a fully parallel *wavefront*; the number of iterations of
+the outer while loop is the number of partitioning steps (238 for the paper's
+Cholesky kernel at NMAT=250, M=4, N=40, NRHS=3) and equals the length of the
+longest dependence chain — i.e. this is list scheduling by levels of the
+dependence DAG, which achieves the maximum (dataflow) parallelism attainable
+with barrier-only synchronization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..isl.relations import FiniteRelation
+from .schedule import ExecutionUnit, Instance, ParallelPhase, Schedule
+
+__all__ = ["DataflowPartition", "dataflow_partition", "dataflow_schedule"]
+
+Point = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class DataflowPartition:
+    """The result of iterative dataflow partitioning: an ordered list of wavefronts."""
+
+    wavefronts: Tuple[FrozenSet[Point], ...]
+    rd: FiniteRelation
+
+    @property
+    def num_steps(self) -> int:
+        """Number of partitioning steps (the paper reports 238 for Example 4)."""
+        return len(self.wavefronts)
+
+    @property
+    def total_points(self) -> int:
+        return sum(len(w) for w in self.wavefronts)
+
+    def level_of(self) -> Dict[Point, int]:
+        out: Dict[Point, int] = {}
+        for level, wave in enumerate(self.wavefronts):
+            for p in wave:
+                out[p] = level
+        return out
+
+    def is_complete(self, space: Iterable[Point]) -> bool:
+        """Every iteration appears in exactly one wavefront."""
+        seen: Set[Point] = set()
+        for wave in self.wavefronts:
+            for p in wave:
+                if p in seen:
+                    return False
+                seen.add(p)
+        return seen == set(tuple(p) for p in space)
+
+    def respects_dependences(self) -> bool:
+        """Every dependence goes from an earlier wavefront to a strictly later one."""
+        level = self.level_of()
+        for src, dst in self.rd.pairs:
+            if src not in level or dst not in level:
+                return False
+            if level[src] >= level[dst]:
+                return False
+        return True
+
+
+def dataflow_partition(
+    space: Iterable[Point],
+    rd: FiniteRelation,
+    max_steps: Optional[int] = None,
+) -> DataflowPartition:
+    """Run the while-loop of Algorithm 1's dataflow branch on concrete sets.
+
+    ``rd`` must be oriented forward (earlier ≺ later); only pairs with both
+    ends inside ``space`` constrain the partitioning.  ``max_steps`` guards
+    against runaway loops in pathological inputs (a cycle in ``rd`` would
+    otherwise never drain — cycles cannot arise from a legal sequential loop).
+    """
+    remaining: Set[Point] = set(tuple(p) for p in space)
+    relation = rd.restrict(domain=remaining, rng=remaining)
+    wavefronts: List[FrozenSet[Point]] = []
+    steps = 0
+    while remaining:
+        if max_steps is not None and steps >= max_steps:
+            raise RuntimeError(
+                f"dataflow partitioning did not terminate within {max_steps} steps; "
+                f"{len(remaining)} iterations remain (is the dependence relation cyclic?)"
+            )
+        ran = {dst for src, dst in relation.pairs}
+        p1 = frozenset(p for p in remaining if p not in ran)
+        if not p1:
+            raise RuntimeError(
+                "dataflow partitioning stalled: every remaining iteration has a "
+                "pending predecessor (cyclic dependence relation)"
+            )
+        wavefronts.append(p1)
+        remaining -= p1
+        relation = relation.restrict(domain=remaining, rng=remaining)
+        steps += 1
+    return DataflowPartition(tuple(wavefronts), rd)
+
+
+def dataflow_schedule(
+    name: str,
+    space: Iterable[Point],
+    rd: FiniteRelation,
+    label: str = "s",
+    instances_of: Optional[Mapping[Point, Sequence[Instance]]] = None,
+) -> Schedule:
+    """Wrap a dataflow partition into a :class:`Schedule` (one phase per wavefront).
+
+    ``instances_of`` optionally maps an iteration point to the statement
+    instances it stands for (used at statement level, where a point is a
+    unified statement index vector); by default each point becomes the single
+    instance ``(label, point)``.
+    """
+    partition = dataflow_partition(space, rd)
+    phases = []
+    for level, wave in enumerate(partition.wavefronts):
+        units = []
+        for p in sorted(wave):
+            if instances_of is not None:
+                units.append(ExecutionUnit.block(list(instances_of[p])))
+            else:
+                units.append(ExecutionUnit.single(label, p))
+        phases.append(ParallelPhase(f"wavefront-{level}", tuple(units)))
+    return Schedule.from_phases(
+        name,
+        phases,
+        scheme="dataflow",
+        num_steps=partition.num_steps,
+    )

@@ -1,0 +1,231 @@
+"""Three-set partitioning of the iteration space (§3.1, eq. 5).
+
+Given the iteration space Φ and the exact dependence relation Rd (oriented so
+every pair maps the lexicographically earlier iteration to the later one), the
+iterations split into
+
+* **independent** iterations — neither predecessors nor successors,
+* **initial** iterations    — dependent, but with no predecessor,
+* **intermediate** iterations — with both predecessors and successors,
+* **final** iterations      — dependent, but with no successor,
+
+and the three executable sets of eq. 5 are
+
+    P1 = Φ \\ ran Rd              (independent ∪ initial — fully parallel)
+    P2 = ran Rd ∩ dom Rd          (intermediate)
+    P3 = ran Rd \\ dom Rd         (final — fully parallel)
+
+Dependences only go P1→P2, P2→P2, P2→P3 (never backwards), so the phases can
+execute in that order with barriers between them; the intermediate set needs
+further treatment (recurrence chains, §3.2, or dataflow partitioning, §3.4).
+
+Both a concrete (enumerated points) and a symbolic (union-of-convex-sets)
+variant are provided; the symbolic variant feeds the DOALL code generator and
+may be a rational approximation (see :class:`SymbolicThreeSetPartition`), the
+concrete variant is exact and feeds the executors and validators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..isl.relations import FiniteRelation, UnionRelation
+from ..isl.sets import UnionSet
+from ..isl.convex import ConvexSet
+
+__all__ = ["ThreeSetPartition", "three_set_partition", "SymbolicThreeSetPartition", "symbolic_three_set_partition"]
+
+Point = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class ThreeSetPartition:
+    """The concrete three-set partition of an iteration space."""
+
+    space: FrozenSet[Point]
+    rd: FiniteRelation
+    p1: FrozenSet[Point]
+    p2: FrozenSet[Point]
+    p3: FrozenSet[Point]
+    w: FrozenSet[Point]
+
+    # -- classification views ----------------------------------------------------
+
+    @property
+    def independent(self) -> FrozenSet[Point]:
+        """Iterations not touched by any dependence."""
+        touched = self.rd.points()
+        return frozenset(p for p in self.p1 if p not in touched)
+
+    @property
+    def initial(self) -> FrozenSet[Point]:
+        """Dependent iterations with no predecessor."""
+        touched = self.rd.points()
+        return frozenset(p for p in self.p1 if p in touched)
+
+    @property
+    def intermediate(self) -> FrozenSet[Point]:
+        return self.p2
+
+    @property
+    def final(self) -> FrozenSet[Point]:
+        return self.p3
+
+    # -- invariants ----------------------------------------------------------------
+
+    def is_complete(self) -> bool:
+        """P1 ⊎ P2 ⊎ P3 == Φ with pairwise-disjoint parts."""
+        union = set(self.p1) | set(self.p2) | set(self.p3)
+        disjoint = (
+            len(self.p1) + len(self.p2) + len(self.p3) == len(union)
+        )
+        return disjoint and union == set(self.space)
+
+    def respects_phase_order(self) -> bool:
+        """No dependence goes against the P1 → P2 → P3 phase order, and none is
+        internal to P1 or to P3."""
+        rank = {}
+        for p in self.p1:
+            rank[p] = 0
+        for p in self.p2:
+            rank[p] = 1
+        for p in self.p3:
+            rank[p] = 2
+        for src, dst in self.rd.pairs:
+            rs, rd_ = rank.get(src), rank.get(dst)
+            if rs is None or rd_ is None:
+                return False
+            if rs > rd_:
+                return False
+            if rs == rd_ and rs in (0, 2):
+                return False
+        return True
+
+    def counts(self) -> Dict[str, int]:
+        return {
+            "space": len(self.space),
+            "P1": len(self.p1),
+            "P2": len(self.p2),
+            "P3": len(self.p3),
+            "W": len(self.w),
+            "independent": len(self.independent),
+            "initial": len(self.initial),
+        }
+
+
+def three_set_partition(
+    space: Iterable[Point], rd: FiniteRelation
+) -> ThreeSetPartition:
+    """Compute eq. 5 from the enumerated iteration space and the exact Rd.
+
+    ``rd`` must already be oriented forward (earlier ≺ later); iterations of
+    ``rd`` that are outside ``space`` are ignored (they cannot occur when the
+    relation was computed from the same bounds).
+    """
+    phi = frozenset(tuple(p) for p in space)
+    relation = rd.restrict(domain=set(phi), rng=set(phi))
+    dom = relation.domain()
+    ran = relation.range()
+    p1 = frozenset(p for p in phi if p not in ran)
+    p2 = frozenset(ran & dom)
+    p3 = frozenset(ran - dom)
+    # W: the intermediate iterations that directly depend on an initial-set
+    # iteration — the start points of the WHILE loops (§3.2).
+    w = frozenset(
+        dst for src, dst in relation.pairs if src in p1 and dst in p2
+    )
+    return ThreeSetPartition(space=phi, rd=relation, p1=p1, p2=p2, p3=p3, w=w)
+
+
+# ---------------------------------------------------------------------------
+# symbolic variant
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SymbolicThreeSetPartition:
+    """The three-set partition as unions of convex sets (possibly parametric).
+
+    The domain/range projections use rational Fourier–Motzkin elimination, so
+    when the dependence relation is not unimodular the projected ``ran``/``dom``
+    sets are supersets of the true integer shadows and the derived partition is
+    an *approximation*: ``p1`` here is a subset of the exact P1, ``p3`` a
+    superset of the exact P3, etc.  The approximation is used for generating
+    the paper-style DOALL listings (repro.codegen.fortran); every executable
+    schedule is built from the exact, enumeration-based
+    :class:`ThreeSetPartition` instead.  The tests check the containment
+    relations between the two on the paper's examples.
+    """
+
+    space: UnionSet
+    p1: UnionSet
+    p2: UnionSet
+    p3: UnionSet
+    w: UnionSet
+
+    def bind_parameters(self, params: Mapping[str, int]) -> "SymbolicThreeSetPartition":
+        return SymbolicThreeSetPartition(
+            self.space.bind_parameters(params),
+            self.p1.bind_parameters(params),
+            self.p2.bind_parameters(params),
+            self.p3.bind_parameters(params),
+            self.w.bind_parameters(params),
+        )
+
+    def concrete(self, params: Mapping[str, int] | None = None) -> Dict[str, List[Point]]:
+        """Enumerate every set (bounded spaces only) — used to cross-check the
+        symbolic derivation against the concrete one."""
+        return {
+            "space": self.space.enumerate(params),
+            "P1": self.p1.enumerate(params),
+            "P2": self.p2.enumerate(params),
+            "P3": self.p3.enumerate(params),
+            "W": self.w.enumerate(params),
+        }
+
+
+def symbolic_three_set_partition(
+    space: ConvexSet, rd: UnionRelation
+) -> SymbolicThreeSetPartition:
+    """Eq. 5 computed with set algebra on the symbolic relation.
+
+    ``space`` is the iteration space Φ (one convex set, eq. 1) and ``rd`` the
+    symbolic dependence relation of eq. 4 whose in/out spaces both correspond
+    to Φ's variables (the out variables are the primed copies).
+    """
+    variables = space.variables
+    phi = UnionSet.from_convex(space)
+    # dom / ran come back over the relation's own variable names; rename the
+    # range's primed variables back to the space's names before set algebra.
+    # Rational pruning after every operation keeps the member count of the
+    # iterated set algebra manageable (provably-empty members are dropped).
+    dom = rd.domain().rename_variables(dict(zip(rd.in_vars, variables))).prune_rational()
+    ran = rd.range().rename_variables(dict(zip(rd.out_vars, variables))).prune_rational()
+    p1 = phi.subtract(ran).prune_rational()
+    p2 = ran.intersect(dom).prune_rational()
+    p3 = ran.subtract(dom).prune_rational()
+
+    # W = { j | (i -> j) ∈ Rd, i ∈ P1, j ∈ P2 }: restrict the relation's domain
+    # to P1, take the range, then intersect with P2 (cheaper than restricting
+    # the range relation-side, which would multiply the piece counts).
+    restricted = rd.intersect_domain(
+        p1.rename_variables(dict(zip(variables, rd.in_vars)))
+    )
+    restricted_pieces = [
+        piece for piece in restricted.pieces
+        if not piece.graph.simplified().is_obviously_empty()
+    ]
+    if restricted_pieces:
+        from ..isl.relations import UnionRelation
+
+        ran_of_restricted = (
+            UnionRelation(rd.in_vars, rd.out_vars, tuple(restricted_pieces))
+            .range()
+            .rename_variables(dict(zip(rd.out_vars, variables)))
+            .prune_rational()
+        )
+        w = ran_of_restricted.intersect(p2).prune_rational()
+    else:
+        w = UnionSet.empty(variables)
+    return SymbolicThreeSetPartition(space=phi, p1=p1, p2=p2, p3=p3, w=w)

@@ -1,0 +1,198 @@
+"""The recurrence form of a single coupled reference pair (§3.2, Theorem 1).
+
+When the loop has a single pair of coupled references ``X[i·A + a]`` and
+``X[j·B + b]`` with square, full-rank A and B, the dependence equation is an
+affine recurrence between dependent iterations:
+
+    j = i·T + u        with  T = A·B⁻¹,  u = (a − b)·B⁻¹
+
+(and the inverse map ``i = (j − u)·T⁻¹`` for the other direction).  This is
+the engine behind the WHILE-loop execution of monotonic chains: starting from
+an iteration that depends on an initial iteration, repeatedly applying the map
+visits exactly the iterations of one recurrence chain.
+
+Theorem 1 of the paper bounds the chain length: with
+``α = max(|det T|, |det T⁻¹|) > 1`` and ``L`` the Euclidean diameter of the
+iteration space, any chain contains at most ``log_α(L) + 1`` iterations,
+because consecutive distance vectors satisfy ``d_k = d_0·T^k`` and therefore
+grow (or shrink, in the inverse direction) geometrically.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..dependence.pair import ReferencePair
+from ..isl.convex import ConvexSet
+from ..isl.lexorder import lex_lt
+from ..isl.linalg import RationalMatrix
+
+__all__ = ["AffineRecurrence", "theorem1_bound", "chain_length_bound_holds"]
+
+Point = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class AffineRecurrence:
+    """The affine successor map ``next(i) = i·T + u`` of a reference pair."""
+
+    T: RationalMatrix
+    u: Tuple[Fraction, ...]
+
+    # -- constructors ---------------------------------------------------------
+
+    @staticmethod
+    def from_pair(pair: ReferencePair) -> "AffineRecurrence":
+        rec = pair.recurrence()
+        if rec is None:
+            raise ValueError(
+                f"reference pair {pair} has no recurrence form "
+                f"(matrices not square or B singular)"
+            )
+        T, u = rec
+        return AffineRecurrence(T, tuple(u))
+
+    @property
+    def dim(self) -> int:
+        return self.T.shape[0]
+
+    def inverse(self) -> "AffineRecurrence":
+        """The predecessor map ``prev(j) = (j − u)·T⁻¹``."""
+        T_inv = self.T.inverse()
+        neg_u = [-x for x in self.u]
+        u_inv = tuple(T_inv.row_apply(neg_u))
+        return AffineRecurrence(T_inv, u_inv)
+
+    # -- pointwise application ---------------------------------------------------
+
+    def apply(self, point: Sequence[int]) -> Tuple[Fraction, ...]:
+        """The exact (rational) image of an integer point under the map."""
+        image = self.T.row_apply(list(point))
+        return tuple(x + du for x, du in zip(image, self.u))
+
+    def next_integer(self, point: Sequence[int]) -> Optional[Point]:
+        """The image if it is an integer point, else ``None``.
+
+        A ``None`` means the iteration has no dependence successor *through
+        this recurrence* (the diophantine equation has no solution at that
+        point), regardless of the loop bounds.
+        """
+        image = self.apply(point)
+        if any(x.denominator != 1 for x in image):
+            return None
+        return tuple(int(x) for x in image)
+
+    def successor_in(
+        self, point: Sequence[int], space: Callable[[Point], bool]
+    ) -> Optional[Point]:
+        """The integer image if it also lies in the iteration space."""
+        nxt = self.next_integer(point)
+        if nxt is None or not space(nxt):
+            return None
+        return nxt
+
+    # -- chains ---------------------------------------------------------------------
+
+    def chain_from(
+        self,
+        start: Sequence[int],
+        space: Callable[[Point], bool],
+        max_steps: int = 1_000_000,
+    ) -> List[Point]:
+        """The recurrence chain starting at ``start`` and staying inside ``space``.
+
+        Follows ``i ← i·T + u`` while the image is integral and inside the
+        space; the starting point itself must be in the space.  Guards against
+        accidental cycles (possible only when |det T| == 1 and the map is not
+        expansive) by stopping when a point repeats.
+        """
+        start_pt = tuple(int(x) for x in start)
+        if not space(start_pt):
+            raise ValueError(f"chain start {start_pt} is outside the iteration space")
+        chain = [start_pt]
+        seen = {start_pt}
+        current = start_pt
+        for _ in range(max_steps):
+            nxt = self.successor_in(current, space)
+            if nxt is None:
+                break
+            if nxt in seen:
+                break
+            chain.append(nxt)
+            seen.add(nxt)
+            current = nxt
+        return chain
+
+    def distance_at(self, point: Sequence[int]) -> Tuple[Fraction, ...]:
+        """The dependence distance ``next(i) − i`` at a point (eq. 6)."""
+        image = self.apply(point)
+        return tuple(x - Fraction(int(p)) for x, p in zip(image, point))
+
+    # -- Theorem 1 ----------------------------------------------------------------------
+
+    def expansion_factor(self) -> Fraction:
+        """``α = max(|det T|, |det T⁻¹|)``."""
+        det = self.T.det()
+        if det == 0:
+            raise ValueError("recurrence matrix T is singular")
+        det_abs = abs(det)
+        inv_abs = abs(Fraction(1, 1) / det)
+        return max(det_abs, inv_abs)
+
+    def is_monotone_map(self, point: Sequence[int]) -> Optional[bool]:
+        """True when the successor of ``point`` is lexicographically later.
+
+        Used to orient chains so that a WHILE loop follows the lexicographic
+        (i.e. legal sequential) order, as §3.1 requires.  Returns ``None``
+        when there is no integer successor.
+        """
+        nxt = self.next_integer(point)
+        if nxt is None:
+            return None
+        return lex_lt(tuple(int(x) for x in point), nxt)
+
+
+def theorem1_bound(recurrence: AffineRecurrence, diameter: float) -> Optional[int]:
+    """Theorem 1: maximum number of iterations on any recurrence chain.
+
+    ``diameter`` is the maximal Euclidean distance ``L`` between two points of
+    the iteration space.  Returns ``None`` when the bound does not apply
+    (``α <= 1``, i.e. the map is volume preserving and chains may be long).
+    """
+    alpha = float(recurrence.expansion_factor())
+    if alpha <= 1.0:
+        return None
+    if diameter <= 0:
+        return 1
+    return int(math.floor(math.log(diameter, alpha))) + 1
+
+
+def iteration_space_diameter(points: Sequence[Point]) -> float:
+    """Euclidean diameter of a finite iteration space.
+
+    Computed from the per-dimension extents (the diameter of an axis-aligned
+    box containing the points), which upper-bounds — and for the rectangular
+    spaces of the paper's examples equals — the true diameter.
+    """
+    if not points:
+        return 0.0
+    dims = len(points[0])
+    total = 0.0
+    for d in range(dims):
+        values = [p[d] for p in points]
+        extent = max(values) - min(values)
+        total += float(extent) ** 2
+    return math.sqrt(total)
+
+
+def chain_length_bound_holds(
+    recurrence: AffineRecurrence, chains: Sequence[Sequence[Point]], diameter: float
+) -> bool:
+    """Check Theorem 1 against measured chains: every chain obeys the bound."""
+    bound = theorem1_bound(recurrence, diameter)
+    if bound is None:
+        return True
+    return all(len(chain) <= bound for chain in chains)

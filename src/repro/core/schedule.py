@@ -1,0 +1,237 @@
+"""Parallel schedules: the common output format of every partitioning scheme.
+
+All partitioners in this package (recurrence chains, dataflow, PDM, unique
+sets, DOACROSS, tiling, ...) ultimately answer the same question: *in what
+order, and with what synchronization, may the statement instances execute?*
+Their answer is a :class:`Schedule` — an ordered sequence of
+:class:`ParallelPhase` objects separated by barriers, where each phase holds
+independent :class:`ExecutionUnit` s that may run concurrently, and each unit
+is a sequence of statement instances that must run in the given order
+(e.g. one monotonic recurrence chain executed by a WHILE loop).
+
+This representation captures exactly what the paper's generated code captures:
+``DOALL`` nests become phases whose units are single instances, the WHILE-loop
+chains become multi-instance units inside the intermediate phase, and barrier
+synchronization exists only *between* phases (``c$omp end do nowait`` inside a
+phase, barriers at the P1/P2 and P2/P3 borders).
+
+The runtime package consumes schedules to (a) validate them against the
+dependence relation and the sequential semantics and (b) estimate/measure
+speedups under a processor-count and overhead model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..isl.relations import FiniteRelation
+
+__all__ = ["Instance", "ExecutionUnit", "ParallelPhase", "Schedule"]
+
+Point = Tuple[int, ...]
+#: A statement instance: (statement label, iteration vector).
+Instance = Tuple[str, Point]
+
+
+@dataclass(frozen=True)
+class ExecutionUnit:
+    """A sequence of statement instances that must execute in order.
+
+    A unit is the smallest schedulable entity: a single iteration of a DOALL
+    loop (one instance) or a whole recurrence chain executed by a WHILE loop
+    (several instances in chain order).
+    """
+
+    instances: Tuple[Instance, ...]
+    kind: str = "iteration"  # "iteration" | "chain" | "block"
+
+    @staticmethod
+    def single(label: str, point: Sequence[int]) -> "ExecutionUnit":
+        return ExecutionUnit(((label, tuple(point)),), "iteration")
+
+    @staticmethod
+    def chain(label: str, points: Sequence[Sequence[int]]) -> "ExecutionUnit":
+        return ExecutionUnit(tuple((label, tuple(p)) for p in points), "chain")
+
+    @staticmethod
+    def block(instances: Sequence[Instance]) -> "ExecutionUnit":
+        return ExecutionUnit(tuple((l, tuple(p)) for l, p in instances), "block")
+
+    def __len__(self) -> int:
+        return len(self.instances)
+
+    @property
+    def work(self) -> int:
+        """Number of statement instances (the unit's sequential execution time
+        in the unit-cost model)."""
+        return len(self.instances)
+
+
+@dataclass(frozen=True)
+class ParallelPhase:
+    """A set of execution units that may run concurrently, ended by a barrier."""
+
+    name: str
+    units: Tuple[ExecutionUnit, ...]
+
+    def __len__(self) -> int:
+        return len(self.units)
+
+    @property
+    def work(self) -> int:
+        """Total statement instances in the phase."""
+        return sum(u.work for u in self.units)
+
+    @property
+    def span(self) -> int:
+        """Length of the longest unit — the phase's critical path in unit cost."""
+        return max((u.work for u in self.units), default=0)
+
+    def instances(self) -> List[Instance]:
+        out: List[Instance] = []
+        for u in self.units:
+            out.extend(u.instances)
+        return out
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """An ordered sequence of parallel phases separated by barriers."""
+
+    name: str
+    phases: Tuple[ParallelPhase, ...]
+    meta: Mapping[str, object] = field(default_factory=dict)
+
+    # -- construction ---------------------------------------------------------
+
+    @staticmethod
+    def from_phases(
+        name: str, phases: Sequence[ParallelPhase], **meta
+    ) -> "Schedule":
+        return Schedule(name, tuple(p for p in phases if len(p) > 0), dict(meta))
+
+    @staticmethod
+    def sequential(name: str, instances: Sequence[Instance]) -> "Schedule":
+        """The degenerate schedule: everything in one unit of one phase."""
+        unit = ExecutionUnit.block(list(instances))
+        return Schedule(name, (ParallelPhase("sequential", (unit,)),), {})
+
+    # -- aggregate metrics ------------------------------------------------------
+
+    @property
+    def num_phases(self) -> int:
+        return len(self.phases)
+
+    @property
+    def total_work(self) -> int:
+        """Total number of statement instances across all phases."""
+        return sum(p.work for p in self.phases)
+
+    @property
+    def span(self) -> int:
+        """Critical path length in unit cost: sum over phases of the longest unit."""
+        return sum(p.span for p in self.phases)
+
+    @property
+    def max_parallelism(self) -> int:
+        return max((len(p) for p in self.phases), default=0)
+
+    def ideal_speedup(self) -> float:
+        """Work/span ratio — the speedup on unboundedly many unit-cost processors."""
+        return self.total_work / self.span if self.span else float("nan")
+
+    def instances(self) -> List[Instance]:
+        out: List[Instance] = []
+        for p in self.phases:
+            out.extend(p.instances())
+        return out
+
+    def instance_counts(self) -> Dict[str, int]:
+        """Instances per phase name (useful in reports)."""
+        return {p.name: p.work for p in self.phases}
+
+    # -- safety checking ----------------------------------------------------------
+
+    def covers(self, instances: Iterable[Instance]) -> bool:
+        """True when the schedule executes exactly the given instances, once each."""
+        mine = self.instances()
+        return len(mine) == len(set(mine)) and set(mine) == set(instances)
+
+    def execution_index(self) -> Dict[Instance, Tuple[int, int, int]]:
+        """Map instance -> (phase number, unit number, position inside unit)."""
+        out: Dict[Instance, Tuple[int, int, int]] = {}
+        for pi, phase in enumerate(self.phases):
+            for ui, unit in enumerate(phase.units):
+                for k, inst in enumerate(unit.instances):
+                    out[inst] = (pi, ui, k)
+        return out
+
+    def respects(self, dependences: FiniteRelation, label: str | None = None) -> bool:
+        """Check that every dependence is honoured by the schedule.
+
+        A dependence (i → j) is honoured when instance ``i`` executes in an
+        earlier phase than ``j``, or in the same unit at an earlier position.
+        Two dependent instances in *different units of the same phase* would be
+        a race, and the method returns ``False``.
+
+        ``dependences`` relates iteration vectors; when the schedule contains
+        several statement labels the check is applied to instances with
+        matching iteration vectors regardless of label unless ``label`` is
+        given (single-statement programs pass the label of that statement).
+        """
+        index = self.execution_index()
+        by_point: Dict[Point, List[Instance]] = {}
+        for inst in index:
+            by_point.setdefault(inst[1], []).append(inst)
+        for src, dst in dependences.pairs:
+            src_insts = by_point.get(tuple(src), [])
+            dst_insts = by_point.get(tuple(dst), [])
+            if label is not None:
+                src_insts = [i for i in src_insts if i[0] == label]
+                dst_insts = [i for i in dst_insts if i[0] == label]
+            for si in src_insts:
+                for di in dst_insts:
+                    ps, us, ks = index[si]
+                    pd, ud, kd = index[di]
+                    if ps < pd:
+                        continue
+                    if ps == pd and us == ud and ks < kd:
+                        continue
+                    return False
+        return True
+
+    def violations(
+        self, dependences: FiniteRelation, label: str | None = None
+    ) -> List[Tuple[Instance, Instance]]:
+        """All dependence pairs the schedule breaks (empty list == safe)."""
+        index = self.execution_index()
+        by_point: Dict[Point, List[Instance]] = {}
+        for inst in index:
+            by_point.setdefault(inst[1], []).append(inst)
+        bad: List[Tuple[Instance, Instance]] = []
+        for src, dst in dependences.pairs:
+            src_insts = by_point.get(tuple(src), [])
+            dst_insts = by_point.get(tuple(dst), [])
+            if label is not None:
+                src_insts = [i for i in src_insts if i[0] == label]
+                dst_insts = [i for i in dst_insts if i[0] == label]
+            for si in src_insts:
+                for di in dst_insts:
+                    ps, us, ks = index[si]
+                    pd, ud, kd = index[di]
+                    if ps < pd or (ps == pd and us == ud and ks < kd):
+                        continue
+                    bad.append((si, di))
+        return bad
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "phases": self.num_phases,
+            "work": self.total_work,
+            "span": self.span,
+            "max_parallelism": self.max_parallelism,
+            "ideal_speedup": round(self.ideal_speedup(), 3) if self.span else None,
+            "phase_sizes": [len(p) for p in self.phases],
+        }

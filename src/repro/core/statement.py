@@ -1,0 +1,158 @@
+"""Statement-level iteration space extension (§3.3).
+
+Imperfectly nested loops (Example 3, the Cholesky kernel) and loops with
+several statements cannot be partitioned on plain iteration vectors, because
+two statement instances can share an iteration vector while being distinct
+units of work.  The paper adopts the affine mapping framework of Kelly & Pugh:
+every statement instance ``S(i)`` with ``l`` surrounding loops is given a
+*unified index vector*
+
+    s_i = (s0, i1, s1, i2, s2, ..., il, sl, 0, 0, ...)
+
+where ``s_k`` is the statement's ordinal position among its siblings after
+loop ``L_k`` (``s0`` is the position of the whole nest in the program) and the
+vector is zero-padded on the right so all statements share one space.  The
+lexicographic order of unified vectors is exactly the sequential execution
+order, so the three-set and dataflow partitioners apply unchanged — they just
+operate on unified vectors instead of iteration vectors.
+
+:class:`StatementLevelSpace` builds the unified space for a program and maps
+the per-reference-pair dependences of the exact analyser into it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..dependence.analysis import DependenceAnalysis
+from ..ir.program import LoopProgram, StatementContext
+from ..isl.lexorder import lex_lt
+from ..isl.relations import FiniteRelation
+from .schedule import Instance
+
+__all__ = ["StatementLevelSpace", "build_statement_space"]
+
+Point = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class StatementLevelSpace:
+    """The unified statement-instance space of a program at concrete bounds."""
+
+    program_name: str
+    #: per statement label: the syntactic position numbers (s0, s1, ..., sl)
+    positions: Mapping[str, Tuple[int, ...]]
+    #: unified vector length (common to all statements, zero-padded)
+    width: int
+    #: every statement instance as (label, iteration vector)
+    instances: Tuple[Instance, ...]
+    #: unified vector of every instance, parallel to ``instances``
+    unified: Tuple[Point, ...]
+    #: dependence relation over unified vectors, oriented forward
+    rd: FiniteRelation
+
+    # -- mapping helpers -------------------------------------------------------
+
+    def unify(self, label: str, iteration: Sequence[int]) -> Point:
+        """The unified index vector of one statement instance."""
+        pos = self.positions[label]
+        coords: List[int] = [pos[0]]
+        for k, iv in enumerate(iteration):
+            coords.append(int(iv))
+            coords.append(pos[k + 1])
+        coords.extend([0] * (self.width - len(coords)))
+        return tuple(coords)
+
+    @property
+    def points(self) -> FrozenSet[Point]:
+        return frozenset(self.unified)
+
+    def instance_of(self) -> Dict[Point, List[Instance]]:
+        """Map a unified point back to the statement instance(s) it denotes."""
+        out: Dict[Point, List[Instance]] = {}
+        for inst, point in zip(self.instances, self.unified):
+            out.setdefault(point, []).append(inst)
+        return out
+
+    def sequential_order_is_lexicographic(
+        self, sequential: Sequence[Instance]
+    ) -> bool:
+        """Property of the §3.3 mapping: program order == lexicographic order."""
+        previous: Optional[Point] = None
+        for label, iteration in sequential:
+            current = self.unify(label, iteration)
+            if previous is not None and not lex_lt(previous, current):
+                return False
+            previous = current
+        return True
+
+
+def _statement_positions(program: LoopProgram) -> Tuple[Dict[str, Tuple[int, ...]], int]:
+    """Position numbers (s0, ..., sl) per statement and the unified width.
+
+    ``position`` stored on each :class:`StatementContext` is the path of child
+    indices from the program root; the entry after loop ``k`` is exactly the
+    sibling ordinal the paper's mapping needs.  Statements in the same loop get
+    consecutive ordinals automatically because child indices are consecutive.
+    """
+    positions: Dict[str, Tuple[int, ...]] = {}
+    max_depth = 0
+    for ctx in program.statement_contexts():
+        positions[ctx.statement.label] = tuple(int(x) for x in ctx.position)
+        max_depth = max(max_depth, ctx.depth)
+    # Unified width: s0 + (i_k, s_k) per loop level up to the deepest statement.
+    width = 1 + 2 * max_depth
+    return positions, width
+
+
+def build_statement_space(
+    program: LoopProgram,
+    params: Mapping[str, int],
+    analysis: Optional[DependenceAnalysis] = None,
+) -> StatementLevelSpace:
+    """Build the unified statement-instance space and its dependence relation.
+
+    The dependences come from the exact per-reference-pair analysis; each pair
+    ``(i of S1) -> (j of S2)`` is mapped to unified vectors and then oriented
+    so the lexicographically earlier instance is the source, dropping
+    self-pairs — the statement-level analogue of eq. 4 / eq. 7.
+    """
+    analysis = analysis or DependenceAnalysis(program, params)
+    positions, width = _statement_positions(program)
+
+    instances: List[Instance] = [
+        (label, tuple(iteration))
+        for label, iteration in program.sequential_iterations(params)
+    ]
+    space = StatementLevelSpace(
+        program_name=program.name,
+        positions=positions,
+        width=width,
+        instances=tuple(instances),
+        unified=(),
+        rd=FiniteRelation(frozenset(), width, width),
+    )
+    unified = tuple(space.unify(label, iteration) for label, iteration in instances)
+
+    pairs: Set[Tuple[Point, Point]] = set()
+    for dep in analysis.pair_dependences:
+        if dep.is_empty():
+            continue
+        src_label = dep.source_label
+        dst_label = dep.target_label
+        for src_iter, dst_iter in dep.relation.pairs:
+            a = space.unify(src_label, src_iter)
+            b = space.unify(dst_label, dst_iter)
+            if a == b:
+                continue
+            pairs.add((a, b) if lex_lt(a, b) else (b, a))
+    rd = FiniteRelation(frozenset(pairs), width, width)
+    return StatementLevelSpace(
+        program_name=program.name,
+        positions=positions,
+        width=width,
+        instances=tuple(instances),
+        unified=unified,
+        rd=rd,
+    )

@@ -1,0 +1,188 @@
+"""Whole-program dependence analysis.
+
+:class:`DependenceAnalysis` ties the pieces of this package together: it
+enumerates the coupled reference pairs of a program, runs the exact analyser
+on each for concrete parameter values, and exposes the views the partitioners
+consume:
+
+* per statement-pair finite relations (imperfect nests, statement level),
+* the combined iteration-level relation ``Rd`` of a perfect nest, oriented so
+  every pair maps the lexicographically earlier iteration to the later one
+  (eq. 4),
+* the symbolic union relation for code generation,
+* summary facts: is there a single coupled pair?  is it square and full rank?
+  are the dependences uniform?
+
+Results are cached; the analysis object is intended to be created once per
+(program, parameter binding) and passed around.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..ir.program import LoopProgram, StatementContext
+from ..isl.relations import FiniteRelation, UnionRelation
+from .exact import enumerate_domain, exact_pair_dependences
+from .pair import ReferencePair
+from .symbolic import symbolic_dependence_relation
+from .distance import classify_pair, is_uniform_relation
+
+__all__ = ["DependenceAnalysis", "StatementPairDependence"]
+
+
+@dataclass(frozen=True)
+class StatementPairDependence:
+    """Exact dependences of one reference pair, with its classification."""
+
+    pair: ReferencePair
+    relation: FiniteRelation
+
+    @property
+    def source_label(self) -> str:
+        return self.pair.source_ctx.statement.label
+
+    @property
+    def target_label(self) -> str:
+        return self.pair.target_ctx.statement.label
+
+    def is_empty(self) -> bool:
+        return self.relation.is_empty()
+
+
+@dataclass
+class DependenceAnalysis:
+    """Exact dependence analysis of a loop program at concrete parameter values."""
+
+    program: LoopProgram
+    params: Mapping[str, int] = field(default_factory=dict)
+
+    def __post_init__(self):
+        missing = [p for p in self.program.parameters if p not in self.params]
+        if missing:
+            raise ValueError(
+                f"program {self.program.name!r} has unbound parameters {missing}; "
+                f"pass concrete values in params"
+            )
+
+    # -- reference pairs --------------------------------------------------------
+
+    @cached_property
+    def reference_pairs(self) -> List[ReferencePair]:
+        """Candidate dependence equations: same array, at least one write.
+
+        Each unordered reference pair is analysed once (the exact analyser and
+        the symbolic relation handle both orientations internally).
+        """
+        pairs: List[ReferencePair] = []
+        seen = set()
+        for ctx1, r1, ctx2, r2 in self.program.reference_pairs():
+            key = frozenset(
+                [(ctx1.statement.label, str(r1)), (ctx2.statement.label, str(r2))]
+            )
+            if key in seen:
+                continue
+            seen.add(key)
+            pairs.append(ReferencePair(ctx1, r1, ctx2, r2))
+        return pairs
+
+    @cached_property
+    def coupled_pairs(self) -> List[ReferencePair]:
+        return [p for p in self.reference_pairs if p.is_coupled()]
+
+    # -- exact dependences -------------------------------------------------------
+
+    @cached_property
+    def pair_dependences(self) -> List[StatementPairDependence]:
+        """Exact direct dependences of every reference pair (source→target of eq. 2)."""
+        out = []
+        for pair in self.reference_pairs:
+            rel = exact_pair_dependences(pair, self.params, self.program.parameters)
+            out.append(StatementPairDependence(pair, rel))
+        return out
+
+    def nonempty_pair_dependences(self) -> List[StatementPairDependence]:
+        return [d for d in self.pair_dependences if not d.is_empty()]
+
+    @cached_property
+    def iteration_dependences(self) -> FiniteRelation:
+        """Combined iteration-level relation Rd of a perfect nest (eq. 4).
+
+        Every dependence pair is oriented from the lexicographically earlier to
+        the later iteration; self-dependences (same iteration) are dropped.
+        Only valid when all statements share the same loop-index space.
+        """
+        contexts = self.program.statement_contexts()
+        index_names = contexts[0].index_names if contexts else ()
+        for ctx in contexts:
+            if ctx.index_names != index_names:
+                raise ValueError(
+                    "iteration_dependences requires a perfect nest; use the "
+                    "statement-level extension (repro.core.statement) instead"
+                )
+        combined = FiniteRelation(frozenset(), len(index_names), len(index_names))
+        for dep in self.pair_dependences:
+            combined = combined.union(dep.relation)
+        return combined.oriented_forward()
+
+    @cached_property
+    def iteration_space_points(self) -> List[Tuple[int, ...]]:
+        """All iteration points of the (perfect) nest, in lexicographic order."""
+        contexts = self.program.statement_contexts()
+        if not contexts:
+            return []
+        points = enumerate_domain(contexts[0], self.params, self.program.parameters)
+        return [tuple(p) for p in points.tolist()]
+
+    # -- symbolic view ------------------------------------------------------------
+
+    def symbolic_relation(self) -> UnionRelation:
+        """The symbolic Rd (perfect nests), still carrying symbolic parameters."""
+        return symbolic_dependence_relation(self.program)
+
+    # -- summary facts -------------------------------------------------------------
+
+    @cached_property
+    def classifications(self):
+        return [classify_pair(p) for p in self.coupled_pairs]
+
+    def has_single_coupled_pair(self) -> bool:
+        """True when exactly one coupled reference pair generates dependences."""
+        nonempty = [
+            d for d in self.pair_dependences if d.pair.is_coupled() and not d.is_empty()
+        ]
+        return len(nonempty) == 1
+
+    def single_coupled_pair(self) -> Optional[ReferencePair]:
+        nonempty = [
+            d for d in self.pair_dependences if d.pair.is_coupled() and not d.is_empty()
+        ]
+        if len(nonempty) == 1:
+            return nonempty[0].pair
+        return None
+
+    def is_uniform(self) -> bool:
+        """Exhaustive uniformity check of the combined relation (perfect nests)."""
+        return is_uniform_relation(self.iteration_dependences, self.iteration_space_points)
+
+    def has_dependences(self) -> bool:
+        return any(not d.is_empty() for d in self.pair_dependences)
+
+    def summary(self) -> Dict[str, object]:
+        """A small dict of headline facts, convenient for reports and tests."""
+        rel = None
+        try:
+            rel = self.iteration_dependences
+        except ValueError:
+            pass
+        return {
+            "program": self.program.name,
+            "params": dict(self.params),
+            "n_reference_pairs": len(self.reference_pairs),
+            "n_coupled_pairs": len(self.coupled_pairs),
+            "n_direct_dependences": (len(rel) if rel is not None else None),
+            "single_coupled_pair": self.has_single_coupled_pair(),
+            "uniform": (self.is_uniform() if rel is not None else None),
+        }

@@ -1,0 +1,91 @@
+"""Dependence distances, direction vectors, and uniformity classification.
+
+§2 of the paper defines a loop's dependences as *uniform* when shifting any
+dependent pair by an arbitrary vector ``c`` yields another dependent pair as
+long as both ends stay inside the iteration space, and *non-uniform*
+otherwise.  This module implements:
+
+* distance / direction vector extraction from an exact dependence relation,
+* the exhaustive (definition-level) uniformity check for concrete bounds,
+* the cheap matrix-level classification used on large corpora
+  (a coupled pair with ``A == B`` is uniform; different matrices of full rank
+  generate iteration-dependent distances, i.e. non-uniform dependences).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Set, Tuple
+
+from ..isl.relations import FiniteRelation
+from .pair import ReferencePair
+
+__all__ = [
+    "distance_vectors",
+    "direction_vectors",
+    "is_uniform_relation",
+    "classify_pair",
+    "PairClassification",
+]
+
+Point = Tuple[int, ...]
+
+
+def distance_vectors(relation: FiniteRelation) -> Set[Point]:
+    """All distance vectors ``target − source`` of the relation."""
+    return relation.distances()
+
+
+def direction_vectors(relation: FiniteRelation) -> Set[Tuple[str, ...]]:
+    """Direction vectors: the sign pattern ('<', '=', '>') per dimension."""
+    out: Set[Tuple[str, ...]] = set()
+    for d in relation.distances():
+        out.add(tuple("<" if x > 0 else (">" if x < 0 else "=") for x in d))
+    return out
+
+
+def is_uniform_relation(relation: FiniteRelation, space_points: Iterable[Point]) -> bool:
+    """Exhaustive uniformity check (the definition in §2).
+
+    ``relation`` must contain the *direct* dependences within the iteration
+    space whose points are ``space_points``.  The dependences are uniform iff
+    for every dependent pair ``(i, j)`` and every shift ``c`` such that both
+    ``i+c`` and ``j+c`` lie in the space, ``(i+c, j+c)`` is also dependent.
+    Equivalently (and much cheaper): for every distance vector ``d`` in the
+    relation, every point ``p`` with ``p+d`` in the space must satisfy
+    ``(p, p+d) ∈ relation``.
+    """
+    points = set(tuple(p) for p in space_points)
+    pair_set = set(relation.pairs)
+    for d in relation.distances():
+        for p in points:
+            q = tuple(x + y for x, y in zip(p, d))
+            if q in points and (p, q) not in pair_set:
+                return False
+    return True
+
+
+@dataclass(frozen=True)
+class PairClassification:
+    """Static classification of a reference pair."""
+
+    coupled: bool
+    uniform_by_matrix: bool
+    square_full_rank: bool
+    ranks: Tuple[int, int]
+
+    @property
+    def non_uniform_candidate(self) -> bool:
+        """Coupled references with differing coefficient matrices — the loops
+        the recurrence-chain partitioner targets."""
+        return self.coupled and not self.uniform_by_matrix
+
+
+def classify_pair(pair: ReferencePair) -> PairClassification:
+    """Matrix-level classification (no enumeration, works with symbolic bounds)."""
+    return PairClassification(
+        coupled=pair.is_coupled(),
+        uniform_by_matrix=pair.is_uniform(),
+        square_full_rank=pair.is_square_full_rank(),
+        ranks=pair.ranks(),
+    )

@@ -1,0 +1,133 @@
+"""Exact dependence computation for concrete loop bounds.
+
+This is the package's stand-in for running the Omega library on the
+dependence problem: for concrete parameter values it computes the *exact*
+set of directly dependent iteration pairs of every reference pair — no
+approximation, no direction-vector abstraction.
+
+The implementation is address-matching rather than equation-solving: for a
+reference pair ``(write W in S1, read/write R in S2)`` it
+
+1. enumerates the iteration domains of S1 and S2 (numpy grids filtered by the
+   domain constraints — vectorised, exact integer arithmetic),
+2. evaluates both references' subscript vectors for every iteration
+   (one integer matrix multiply each),
+3. hash-joins the two address tables: every pair of iterations that touches
+   the same array element is a direct dependence.
+
+This is mathematically identical to enumerating the integer solutions of
+``i·A + a = j·B + b`` inside Φ (eq. 2/3) and costs O(|Φ|) time and memory,
+which comfortably covers the paper's problem sizes (3·10⁵ iterations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..ir.program import StatementContext
+from ..isl.convex import ConvexSet
+from ..isl.enumerate_points import filter_box_numpy, iteration_points
+from ..isl.relations import FiniteRelation
+from .pair import ReferencePair
+
+__all__ = ["enumerate_domain", "reference_addresses", "exact_pair_dependences"]
+
+
+def enumerate_domain(
+    ctx: StatementContext,
+    params: Mapping[str, int],
+    parameters: Sequence[str] = (),
+) -> np.ndarray:
+    """All iteration points of a statement's domain as an ``(n, depth)`` array.
+
+    The domain may be non-rectangular (triangular bounds); a bounding box is
+    built from the per-variable Fourier–Motzkin bounds and then filtered by the
+    exact constraints, all vectorised.
+    """
+    domain = ctx.domain(parameters).bind_parameters(params)
+    if not domain.variables:
+        return np.zeros((1, 0), dtype=np.int64)
+    box = []
+    for v in domain.variables:
+        lo, hi = domain.variable_bounds(v)
+        if lo is None or hi is None:
+            raise ValueError(
+                f"statement {ctx.statement.label}: variable {v} is unbounded "
+                f"with params {dict(params)}"
+            )
+        if lo > hi:
+            return np.zeros((0, len(domain.variables)), dtype=np.int64)
+        box.append((lo, hi))
+    candidates = iteration_points(box)
+    mask = filter_box_numpy(domain, candidates)
+    return candidates[mask]
+
+
+def reference_addresses(
+    ref,
+    index_order: Sequence[str],
+    points: np.ndarray,
+) -> np.ndarray:
+    """Subscript vectors of ``ref`` for every iteration point (``(n, rank)``).
+
+    Raises :class:`ValueError` if some subscript evaluates to a non-integer
+    (cannot happen for integral coefficient matrices, which the IR validator
+    enforces).
+    """
+    A, a = ref.coefficient_matrix(index_order)
+    if A and any(c.denominator != 1 for row in A for c in row):
+        raise ValueError(f"non-integer subscript coefficients in {ref}")
+    if any(c.denominator != 1 for c in a):
+        raise ValueError(f"non-integer subscript offsets in {ref}")
+    A_np = np.array([[int(c) for c in row] for row in A], dtype=np.int64).reshape(
+        len(index_order), len(a)
+    )
+    a_np = np.array([int(c) for c in a], dtype=np.int64)
+    if points.shape[1] != len(index_order):
+        raise ValueError("points dimensionality does not match the index order")
+    return points @ A_np + a_np
+
+
+def _hash_join(
+    src_points: np.ndarray, src_addr: np.ndarray, dst_points: np.ndarray, dst_addr: np.ndarray
+) -> List[Tuple[Tuple[int, ...], Tuple[int, ...]]]:
+    """Join source and target iterations on equal address vectors."""
+    table: Dict[Tuple[int, ...], List[int]] = {}
+    for idx, addr in enumerate(map(tuple, src_addr.tolist())):
+        table.setdefault(addr, []).append(idx)
+    pairs: List[Tuple[Tuple[int, ...], Tuple[int, ...]]] = []
+    for jdx, addr in enumerate(map(tuple, dst_addr.tolist())):
+        for idx in table.get(addr, ()):  # pragma: no branch
+            pairs.append((tuple(src_points[idx].tolist()), tuple(dst_points[jdx].tolist())))
+    return pairs
+
+
+def exact_pair_dependences(
+    pair: ReferencePair,
+    params: Mapping[str, int],
+    parameters: Sequence[str] = (),
+    include_self: bool = False,
+) -> FiniteRelation:
+    """Exact direct dependences of one reference pair for concrete bounds.
+
+    The result maps iterations of the *source* statement to iterations of the
+    *target* statement (the orientation of eq. 2; lexicographic orientation is
+    applied later by the partitioners).  Pairs where both iterations are the
+    same instance of the same statement are excluded unless ``include_self``.
+    """
+    src_points = enumerate_domain(pair.source_ctx, params, parameters)
+    dst_points = enumerate_domain(pair.target_ctx, params, parameters)
+    if len(src_points) == 0 or len(dst_points) == 0:
+        return FiniteRelation(frozenset(), src_points.shape[1], dst_points.shape[1])
+    src_addr = reference_addresses(pair.source_ref, pair.source_indices, src_points)
+    dst_addr = reference_addresses(pair.target_ref, pair.target_indices, dst_points)
+    pairs = _hash_join(src_points, src_addr, dst_points, dst_addr)
+    same_statement = pair.source_ctx.statement.label == pair.target_ctx.statement.label
+    if not include_self and same_statement:
+        pairs = [(a, b) for a, b in pairs if a != b]
+    return FiniteRelation(
+        frozenset(pairs), src_points.shape[1], dst_points.shape[1]
+    )

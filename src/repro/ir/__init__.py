@@ -1,0 +1,40 @@
+"""repro.ir — the loop-nest intermediate representation.
+
+Programs are (possibly imperfectly) nested normalized DO loops with affine
+bounds, containing assignment statements with affine array references — the
+program model of §2 of the paper.  See :mod:`repro.ir.nodes` for the node
+types, :mod:`repro.ir.builder` for the convenient construction helpers used by
+the workload definitions, :mod:`repro.ir.normalize` for stride normalization
+and :mod:`repro.ir.validate` for well-formedness checking.
+"""
+
+from .builder import E, aref, assign, loop, parse_affine, program
+from .nodes import ArrayRef, Loop, Node, Statement
+from .normalize import is_normalized, normalize_loop, normalize_program
+from .program import LoopProgram, StatementContext
+from .semantics import DEFAULT_SEMANTICS, order_sensitive_semantics, sum_semantics
+from .validate import ValidationError, check_program, validate_program
+
+__all__ = [
+    "ArrayRef",
+    "Statement",
+    "Loop",
+    "Node",
+    "LoopProgram",
+    "StatementContext",
+    "E",
+    "aref",
+    "assign",
+    "loop",
+    "program",
+    "parse_affine",
+    "normalize_program",
+    "normalize_loop",
+    "is_normalized",
+    "validate_program",
+    "check_program",
+    "ValidationError",
+    "DEFAULT_SEMANTICS",
+    "order_sensitive_semantics",
+    "sum_semantics",
+]

@@ -1,0 +1,183 @@
+"""Convenience builders and a tiny affine-expression parser.
+
+Workload definitions read much better as::
+
+    loop("I1", 1, "N1",
+        loop("I2", 1, "N2",
+            assign("s", aref("a", "3*I1+1", "2*I1+I2-1"),
+                        [aref("a", "I1+3", "I2+1")])))
+
+than as nested dataclass constructors, so this module provides:
+
+* :func:`parse_affine` — parse strings like ``"2*I1+I2-1"`` or ``"N-3"`` into
+  :class:`~repro.isl.affine.AffineExpr` (integers, identifiers, ``+ - *`` and
+  parentheses; multiplication must involve at least one constant factor so
+  that the result stays affine),
+* :func:`aref`, :func:`assign`, :func:`loop`, :func:`program` — thin wrappers
+  over the IR node constructors that accept strings anywhere an affine
+  expression is expected.
+"""
+
+from __future__ import annotations
+
+import re
+from fractions import Fraction
+from typing import List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..isl.affine import AffineExpr
+from .nodes import ArrayRef, Loop, Node, Statement
+from .program import LoopProgram
+
+__all__ = ["parse_affine", "aref", "assign", "loop", "program", "E"]
+
+_TOKEN_RE = re.compile(r"\s*(?:(\d+)|([A-Za-z_][A-Za-z_0-9]*)|(.))")
+
+
+class _Parser:
+    """Recursive-descent parser for affine expressions."""
+
+    def __init__(self, text: str):
+        self.tokens: List[Tuple[str, str]] = []
+        pos = 0
+        while pos < len(text):
+            m = _TOKEN_RE.match(text, pos)
+            if not m:
+                break
+            pos = m.end()
+            if m.group(1):
+                self.tokens.append(("int", m.group(1)))
+            elif m.group(2):
+                self.tokens.append(("name", m.group(2)))
+            else:
+                ch = m.group(3)
+                if ch.strip():
+                    self.tokens.append(("op", ch))
+        self.pos = 0
+        self.text = text
+
+    def peek(self) -> Optional[Tuple[str, str]]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> Tuple[str, str]:
+        tok = self.peek()
+        if tok is None:
+            raise ValueError(f"unexpected end of expression in {self.text!r}")
+        self.pos += 1
+        return tok
+
+    def expect(self, value: str) -> None:
+        tok = self.next()
+        if tok[1] != value:
+            raise ValueError(f"expected {value!r}, found {tok[1]!r} in {self.text!r}")
+
+    # grammar: expr := term (('+'|'-') term)* ;  term := factor ('*' factor)* ;
+    #          factor := int | name | '-' factor | '(' expr ')'
+
+    def parse(self) -> AffineExpr:
+        result = self.expr()
+        if self.peek() is not None:
+            raise ValueError(f"trailing input in affine expression {self.text!r}")
+        return result
+
+    def expr(self) -> AffineExpr:
+        value = self.term()
+        while True:
+            tok = self.peek()
+            if tok and tok[0] == "op" and tok[1] in "+-":
+                self.next()
+                rhs = self.term()
+                value = value + rhs if tok[1] == "+" else value - rhs
+            else:
+                return value
+
+    def term(self) -> AffineExpr:
+        value = self.factor()
+        while True:
+            tok = self.peek()
+            if tok and tok[0] == "op" and tok[1] == "*":
+                self.next()
+                rhs = self.factor()
+                value = _affine_mul(value, rhs, self.text)
+            else:
+                return value
+
+    def factor(self) -> AffineExpr:
+        tok = self.next()
+        if tok[0] == "int":
+            return AffineExpr.constant_expr(int(tok[1]))
+        if tok[0] == "name":
+            return AffineExpr.variable(tok[1])
+        if tok == ("op", "-"):
+            return -self.factor()
+        if tok == ("op", "+"):
+            return self.factor()
+        if tok == ("op", "("):
+            inner = self.expr()
+            self.expect(")")
+            return inner
+        raise ValueError(f"unexpected token {tok[1]!r} in affine expression {self.text!r}")
+
+
+def _affine_mul(a: AffineExpr, b: AffineExpr, text: str) -> AffineExpr:
+    if a.is_constant():
+        return b * a.constant
+    if b.is_constant():
+        return a * b.constant
+    raise ValueError(f"non-affine product in expression {text!r}")
+
+
+def parse_affine(text: Union[str, int, Fraction, AffineExpr]) -> AffineExpr:
+    """Parse a string into an affine expression (pass-through for non-strings)."""
+    if isinstance(text, AffineExpr):
+        return text
+    if isinstance(text, (int, Fraction)):
+        return AffineExpr.constant_expr(text)
+    return _Parser(str(text)).parse()
+
+
+# Short alias used pervasively in the workload definitions.
+E = parse_affine
+
+
+def aref(array: str, *subscripts) -> ArrayRef:
+    """Build an :class:`ArrayRef`, parsing string subscripts."""
+    return ArrayRef(array, tuple(parse_affine(s) for s in subscripts))
+
+
+def assign(
+    label: str,
+    write: ArrayRef,
+    reads: Sequence[ArrayRef] = (),
+    semantics=None,
+) -> Statement:
+    """Build an assignment statement ``write = f(reads)``."""
+    return Statement(label, (write,), tuple(reads), semantics)
+
+
+def loop(index: str, lower, upper, *body: Node, stride: int = 1) -> Loop:
+    """Build a loop node, parsing string bounds.
+
+    ``lower``/``upper`` may be a single bound or a list/tuple of bounds — a
+    list lower bound means ``MAX(...)``, a list upper bound means ``MIN(...)``.
+    """
+    def bounds(value):
+        if isinstance(value, (list, tuple)):
+            return tuple(parse_affine(v) for v in value)
+        return (parse_affine(value),)
+
+    return Loop(index, bounds(lower), bounds(upper), tuple(body), stride)
+
+
+def program(
+    name: str,
+    *body: Node,
+    parameters: Sequence[str] = (),
+    array_shapes: Optional[Mapping[str, Tuple[int, ...]]] = None,
+) -> LoopProgram:
+    """Build a :class:`LoopProgram` from top-level nodes."""
+    return LoopProgram(
+        name=name,
+        body=tuple(body),
+        parameters=tuple(parameters),
+        array_shapes=dict(array_shapes or {}),
+    )

@@ -1,0 +1,235 @@
+"""Loop-nest IR nodes.
+
+The reproduction works on a small intermediate representation of (possibly
+imperfectly) nested DO loops with affine bounds and affine array subscripts —
+the program model of §2 of the paper:
+
+* :class:`Loop` — a normalized counted loop ``DO index = lower, upper`` whose
+  bounds are affine expressions of outer loop indices and symbolic parameters,
+  with a body of nested loops and statements.
+* :class:`Statement` — a single assignment-style statement with one or more
+  write references and read references to arrays, each an :class:`ArrayRef`
+  with affine subscripts.
+* :class:`ArrayRef` — a reference ``X[e_1, ..., e_d]`` with affine subscript
+  expressions, convertible to the matrix form ``I·A + a`` used by the
+  dependence equations.
+
+The IR is deliberately minimal: it captures exactly the information the
+dependence analysis and the partitioning algorithms consume, nothing more.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..isl.affine import AffineExpr
+
+__all__ = ["ArrayRef", "Statement", "Loop", "Node"]
+
+
+@dataclass(frozen=True)
+class ArrayRef:
+    """An affine array reference ``array[sub_1, ..., sub_d]``."""
+
+    array: str
+    subscripts: Tuple[AffineExpr, ...]
+
+    @staticmethod
+    def make(array: str, subscripts: Sequence) -> "ArrayRef":
+        return ArrayRef(array, tuple(AffineExpr.from_any(s) for s in subscripts))
+
+    @property
+    def rank(self) -> int:
+        """Number of array dimensions referenced."""
+        return len(self.subscripts)
+
+    def variables(self) -> Tuple[str, ...]:
+        """Loop index variables occurring in the subscripts (in first-seen order)."""
+        seen: List[str] = []
+        for s in self.subscripts:
+            for v in s.variables:
+                if v not in seen:
+                    seen.append(v)
+        return tuple(seen)
+
+    def coefficient_matrix(
+        self, index_order: Sequence[str]
+    ) -> Tuple[List[List[Fraction]], List[Fraction]]:
+        """Return ``(A, a)`` such that the subscript vector equals ``i·A + a``.
+
+        ``A`` has one row per loop index in ``index_order`` and one column per
+        array dimension; ``a`` is the constant offset vector.  Symbols that are
+        neither loop indices nor constants (i.e. parameters) are not allowed in
+        subscripts for the matrix form and raise ``ValueError``.
+        """
+        rows = len(index_order)
+        cols = len(self.subscripts)
+        A = [[Fraction(0)] * cols for _ in range(rows)]
+        a = [Fraction(0)] * cols
+        index_pos = {name: k for k, name in enumerate(index_order)}
+        for col, sub in enumerate(self.subscripts):
+            a[col] = sub.constant
+            for name, coeff in sub.coeffs:
+                if name not in index_pos:
+                    raise ValueError(
+                        f"subscript {sub} of {self.array} uses symbol {name!r} "
+                        f"outside the loop index order {tuple(index_order)}"
+                    )
+                A[index_pos[name]][col] = coeff
+        return A, a
+
+    def evaluate(self, env: Mapping[str, int]) -> Tuple[int, ...]:
+        """Concrete subscript values under an iteration-point environment."""
+        out = []
+        for s in self.subscripts:
+            v = s.evaluate(env)
+            if v.denominator != 1:
+                raise ValueError(f"non-integer subscript value {v} for {self}")
+            out.append(int(v))
+        return tuple(out)
+
+    def __str__(self) -> str:
+        return f"{self.array}({', '.join(str(s) for s in self.subscripts)})"
+
+
+# Statement semantics: a callable (arrays, env, read_values) -> value written.
+SemanticsFn = Callable[[Mapping[str, "object"], Mapping[str, int], Sequence[float]], float]
+
+
+@dataclass(frozen=True)
+class Statement:
+    """An assignment statement with affine array references.
+
+    ``writes`` and ``reads`` list the array references; ``label`` identifies the
+    statement (used for statement-level partitioning and reporting).  The
+    optional ``semantics`` callable defines the executable meaning of the
+    statement for the runtime validators: it receives the array store, the
+    iteration environment and the list of values read (in ``reads`` order) and
+    returns the value to store through each write reference.  When omitted, an
+    order-sensitive default is used (see :mod:`repro.ir.semantics`).
+    """
+
+    label: str
+    writes: Tuple[ArrayRef, ...]
+    reads: Tuple[ArrayRef, ...] = ()
+    semantics: Optional[SemanticsFn] = field(default=None, compare=False)
+
+    @staticmethod
+    def assign(
+        label: str,
+        write: ArrayRef,
+        reads: Sequence[ArrayRef] = (),
+        semantics: Optional[SemanticsFn] = None,
+    ) -> "Statement":
+        return Statement(label, (write,), tuple(reads), semantics)
+
+    def references(self) -> Tuple[ArrayRef, ...]:
+        return self.writes + self.reads
+
+    def arrays(self) -> Tuple[str, ...]:
+        seen: List[str] = []
+        for r in self.references():
+            if r.array not in seen:
+                seen.append(r.array)
+        return tuple(seen)
+
+    def __str__(self) -> str:
+        w = ", ".join(str(r) for r in self.writes)
+        r = ", ".join(str(r) for r in self.reads)
+        return f"{self.label}: {w} = f({r})"
+
+
+@dataclass(frozen=True)
+class Loop:
+    """A counted loop with affine bounds and a nested body.
+
+    ``lower`` and ``upper`` are non-empty tuples of affine expressions: the
+    loop runs from the *maximum* of the lower bounds to the *minimum* of the
+    upper bounds, which models Fortran bounds like ``DO I = MAX(-M, -J), -1``
+    and ``DO JJ = 1, MIN(M, N-K)`` exactly (both occur in the Cholesky
+    kernel of Example 4 and in the paper's generated listings).
+    """
+
+    index: str
+    lower: Tuple[AffineExpr, ...]
+    upper: Tuple[AffineExpr, ...]
+    body: Tuple["Node", ...] = ()
+    stride: int = 1
+
+    @staticmethod
+    def make(index: str, lower, upper, body: Sequence["Node"] = (), stride: int = 1) -> "Loop":
+        return Loop(
+            index,
+            _bound_tuple(lower),
+            _bound_tuple(upper),
+            tuple(body),
+            stride,
+        )
+
+    @property
+    def single_lower(self) -> AffineExpr:
+        """The lower bound when it is a single expression (raises otherwise)."""
+        if len(self.lower) != 1:
+            raise ValueError(f"loop {self.index} has a MAX lower bound")
+        return self.lower[0]
+
+    @property
+    def single_upper(self) -> AffineExpr:
+        """The upper bound when it is a single expression (raises otherwise)."""
+        if len(self.upper) != 1:
+            raise ValueError(f"loop {self.index} has a MIN upper bound")
+        return self.upper[0]
+
+    def evaluate_bounds(self, env: Mapping[str, int]) -> Tuple[int, int]:
+        """Concrete ``(lo, hi)`` bounds under an environment (MAX/MIN applied)."""
+        lows = [b.evaluate(env) for b in self.lower]
+        highs = [b.evaluate(env) for b in self.upper]
+        for v in lows + highs:
+            if v.denominator != 1:
+                raise ValueError(f"non-integer bound value for loop {self.index}")
+        return int(max(lows)), int(min(highs))
+
+    def is_normalized(self) -> bool:
+        """Unit-stride loops are "normalized" in the sense of §2."""
+        return self.stride == 1
+
+    def statements(self) -> List[Statement]:
+        out: List[Statement] = []
+        for node in self.body:
+            if isinstance(node, Statement):
+                out.append(node)
+            else:
+                out.extend(node.statements())
+        return out
+
+    def inner_loops(self) -> List["Loop"]:
+        out: List[Loop] = []
+        for node in self.body:
+            if isinstance(node, Loop):
+                out.append(node)
+                out.extend(node.inner_loops())
+        return out
+
+    def __str__(self) -> str:
+        lo = str(self.lower[0]) if len(self.lower) == 1 else "MAX(" + ", ".join(map(str, self.lower)) + ")"
+        hi = str(self.upper[0]) if len(self.upper) == 1 else "MIN(" + ", ".join(map(str, self.upper)) + ")"
+        head = f"DO {self.index} = {lo}, {hi}"
+        if self.stride != 1:
+            head += f", {self.stride}"
+        return head
+
+
+def _bound_tuple(value) -> Tuple[AffineExpr, ...]:
+    """Coerce a bound specification into a non-empty tuple of affine expressions."""
+    if isinstance(value, (list, tuple)):
+        items = tuple(AffineExpr.from_any(v) for v in value)
+    else:
+        items = (AffineExpr.from_any(value),)
+    if not items:
+        raise ValueError("a loop bound needs at least one expression")
+    return items
+
+
+Node = Union[Loop, Statement]

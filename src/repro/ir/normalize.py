@@ -1,0 +1,111 @@
+"""Loop normalization.
+
+The program model of §2 assumes every loop has been *normalized* to a unit
+stride.  Real kernels (e.g. the Cholesky back-substitution loop
+``DO K = N, 0, -1``) do not arrive that way, so this pass rewrites
+
+    DO i = L, U, s          (s != 0)
+
+into
+
+    DO i' = 1, count        (count = floor((U - L)/s) + 1)
+
+substituting ``i := L + (i' - 1) * s`` in every nested bound and subscript.
+Negative strides are handled the same way — the substitution reverses the
+traversal direction, which preserves the *set* of iterations.  Reversal
+changes the sequential execution order, so callers that care about original
+ordering (all the partitioners do) must run dependence analysis on the
+normalized program, which is exactly what the pipeline does.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..isl.affine import AffineExpr
+from .nodes import ArrayRef, Loop, Node, Statement
+from .program import LoopProgram
+
+__all__ = ["normalize_program", "normalize_loop", "is_normalized"]
+
+
+def is_normalized(prog: LoopProgram) -> bool:
+    """True when every loop in the program has stride 1."""
+    return all(l.stride == 1 for l in prog.loops())
+
+
+def normalize_loop(node: Loop, substitution: Dict[str, AffineExpr]) -> Loop:
+    """Normalize one loop (and, recursively, its body)."""
+    lower = tuple(b.substitute(substitution) for b in node.lower)
+    upper = tuple(b.substitute(substitution) for b in node.upper)
+    stride = node.stride
+    if stride == 0:
+        raise ValueError(f"loop {node.index} has zero stride")
+    if stride == 1:
+        new_body = _normalize_body(node.body, substitution)
+        return Loop(node.index, lower, upper, new_body, 1)
+
+    # i runs L, L+s, ..., so with i' = 1..count we substitute i = L + (i'-1)*s.
+    # The count uses integer floor division of (U - L) / s which is affine only
+    # when (U - L) is a constant; for symbolic bounds we keep the exact rational
+    # expression (the workloads that need normalization have constant bounds).
+    if len(lower) != 1 or len(upper) != 1:
+        raise ValueError(
+            f"cannot normalize loop {node.index}: MIN/MAX bounds with non-unit stride"
+        )
+    span = upper[0] - lower[0]
+    if not span.is_constant():
+        raise ValueError(
+            f"cannot normalize loop {node.index} with symbolic non-unit stride bounds"
+        )
+    count = int(span.constant) // stride + 1
+    if count < 0:
+        count = 0
+    new_index = node.index
+    replacement = lower[0] + AffineExpr.variable(new_index) * stride - stride
+    inner_subst = dict(substitution)
+    inner_subst[node.index] = replacement
+    new_body = _normalize_body(node.body, inner_subst)
+    return Loop(
+        new_index,
+        (AffineExpr.constant_expr(1),),
+        (AffineExpr.constant_expr(count),),
+        new_body,
+        1,
+    )
+
+
+def _normalize_body(body: Sequence[Node], substitution: Dict[str, AffineExpr]) -> Tuple[Node, ...]:
+    out: List[Node] = []
+    for node in body:
+        if isinstance(node, Statement):
+            out.append(_substitute_statement(node, substitution))
+        else:
+            out.append(normalize_loop(node, substitution))
+    return tuple(out)
+
+
+def _substitute_statement(stmt: Statement, substitution: Dict[str, AffineExpr]) -> Statement:
+    if not substitution:
+        return stmt
+
+    def fix(ref: ArrayRef) -> ArrayRef:
+        return ArrayRef(ref.array, tuple(s.substitute(substitution) for s in ref.subscripts))
+
+    return Statement(
+        stmt.label,
+        tuple(fix(r) for r in stmt.writes),
+        tuple(fix(r) for r in stmt.reads),
+        stmt.semantics,
+    )
+
+
+def normalize_program(prog: LoopProgram) -> LoopProgram:
+    """Normalize every loop of the program to unit stride."""
+    new_body = _normalize_body(prog.body, {})
+    return LoopProgram(
+        name=prog.name,
+        body=new_body,
+        parameters=prog.parameters,
+        array_shapes=dict(prog.array_shapes),
+    )

@@ -1,0 +1,63 @@
+"""Executable statement semantics used by the runtime validators.
+
+The partitioning schemes are *semantics preserving* transformations: any
+schedule they produce must compute exactly the same array contents as the
+original sequential loop.  To test that, every statement needs an executable
+meaning.  Two standard semantics are provided:
+
+* :func:`order_sensitive_semantics` (the default) — the written value is a
+  non-commutative, order-sensitive integer function of the values read and of
+  the iteration vector.  If a schedule executes two dependent iterations in
+  the wrong order, or misses/duplicates an iteration, the final array contents
+  differ from the sequential run with overwhelming probability, so the
+  validator catches the bug.
+* :func:`sum_semantics` — a simple accumulating semantics for benchmarks where
+  raw arithmetic throughput matters more than detection strength.
+
+Both are pure functions of their arguments; all arithmetic is integer so the
+comparison against the sequential reference is exact (no floating point
+tolerance games).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["order_sensitive_semantics", "sum_semantics", "DEFAULT_SEMANTICS"]
+
+# A large prime keeps the mixed values bounded while preserving the
+# "different order => different value" property with high probability.
+_MODULUS = 2_147_483_647  # 2^31 - 1 (Mersenne prime)
+
+
+def order_sensitive_semantics(
+    arrays: Mapping[str, object],
+    env: Mapping[str, int],
+    read_values: Sequence[int],
+) -> int:
+    """Order-sensitive integer mixing of the read values and iteration vector.
+
+    The value depends on the *sequence* of updates that produced the read
+    values (multiplication by 31 chains them non-commutatively with the
+    iteration contribution), which is what makes ordering violations visible.
+    """
+    acc = 17
+    for v in read_values:
+        # Multiply the read value into the accumulator (coefficient != 1) so
+        # that chaining two updates in different orders cannot cancel out.
+        acc = (31 * (acc + int(v))) % _MODULUS
+    for k, name in enumerate(sorted(env)):
+        acc = (acc + (k + 2) * int(env[name])) % _MODULUS
+    return acc
+
+
+def sum_semantics(
+    arrays: Mapping[str, object],
+    env: Mapping[str, int],
+    read_values: Sequence[int],
+) -> int:
+    """Accumulating semantics: written value = sum of reads + 1."""
+    return int(sum(int(v) for v in read_values) + 1)
+
+
+DEFAULT_SEMANTICS = order_sensitive_semantics

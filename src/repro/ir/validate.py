@@ -1,0 +1,119 @@
+"""Static well-formedness checks for loop programs.
+
+Running the partitioners on a malformed program produces confusing downstream
+errors (e.g. a subscript mentioning an index of a *sibling* loop would silently
+yield an empty coefficient matrix).  :func:`validate_program` catches these
+early and reports every problem at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Set
+
+from .nodes import ArrayRef, Loop, Statement
+from .program import LoopProgram
+
+__all__ = ["ValidationError", "validate_program", "check_program"]
+
+
+@dataclass(frozen=True)
+class ValidationError:
+    """One validation finding: where and what."""
+
+    where: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.where}: {self.message}"
+
+
+def validate_program(prog: LoopProgram) -> List[ValidationError]:
+    """Return the list of validation findings (empty list == well formed)."""
+    errors: List[ValidationError] = []
+    params = set(prog.parameters)
+
+    # 1. unique statement labels
+    seen_labels: Set[str] = set()
+    for stmt in prog.statements():
+        if stmt.label in seen_labels:
+            errors.append(ValidationError(stmt.label, "duplicate statement label"))
+        seen_labels.add(stmt.label)
+
+    # 2. unique loop indices along each nesting path; bounds only use outer symbols
+    def walk(nodes, enclosing: List[Loop]):
+        enclosing_names = [l.index for l in enclosing]
+        for node in nodes:
+            if isinstance(node, Loop):
+                where = f"loop {node.index}"
+                if node.index in enclosing_names:
+                    errors.append(ValidationError(where, "re-uses an enclosing loop index"))
+                if node.stride == 0:
+                    errors.append(ValidationError(where, "zero stride"))
+                allowed = set(enclosing_names) | params
+                for side, exprs in (("lower", node.lower), ("upper", node.upper)):
+                    for expr in exprs:
+                        bad = [v for v in expr.variables if v not in allowed]
+                        if bad:
+                            errors.append(
+                                ValidationError(
+                                    where,
+                                    f"{side} bound {expr} uses symbols {bad} that are neither "
+                                    f"outer loop indices nor parameters",
+                                )
+                            )
+                walk(node.body, enclosing + [node])
+            else:
+                _check_statement(node, enclosing_names, params, errors, prog)
+
+    walk(prog.body, [])
+    return errors
+
+
+def _check_statement(
+    stmt: Statement,
+    enclosing_names: Sequence[str],
+    params: Set[str],
+    errors: List[ValidationError],
+    prog: LoopProgram,
+) -> None:
+    where = f"statement {stmt.label}"
+    if not stmt.writes:
+        errors.append(ValidationError(where, "statement has no write reference"))
+    allowed = set(enclosing_names) | params
+    for ref in stmt.writes + stmt.reads:
+        for sub in ref.subscripts:
+            bad = [v for v in sub.variables if v not in allowed]
+            if bad:
+                errors.append(
+                    ValidationError(
+                        where,
+                        f"subscript {sub} of {ref.array} uses symbols {bad} that are "
+                        f"neither enclosing loop indices nor parameters",
+                    )
+                )
+            if not sub.is_integral():
+                errors.append(
+                    ValidationError(
+                        where, f"subscript {sub} of {ref.array} has non-integer coefficients"
+                    )
+                )
+    # 3. consistent array ranks, and shapes when declared
+    for ref in stmt.writes + stmt.reads:
+        shape = prog.array_shapes.get(ref.array)
+        if shape is not None and len(shape) != ref.rank:
+            errors.append(
+                ValidationError(
+                    where,
+                    f"{ref.array} is declared with {len(shape)} dimensions but "
+                    f"referenced with {ref.rank} subscripts",
+                )
+            )
+
+
+def check_program(prog: LoopProgram) -> None:
+    """Raise ``ValueError`` with all findings when the program is malformed."""
+    errors = validate_program(prog)
+    if errors:
+        details = "\n  ".join(str(e) for e in errors)
+        raise ValueError(f"invalid loop program {prog.name!r}:\n  {details}")

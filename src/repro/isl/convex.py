@@ -1,0 +1,398 @@
+"""Convex integer sets described by affine constraints.
+
+A :class:`ConvexSet` is a conjunction of affine constraints (equalities and
+``>= 0`` inequalities) over a fixed, ordered tuple of integer variables, plus
+an optional tuple of symbolic parameters (loop bounds such as ``N1`` that are
+unknown at compile time).  It is the Python analogue of a single conjunct in
+the Omega library's Presburger formulas — sufficient for the operations the
+recurrence-chain partitioning algorithm needs: intersection, constraint
+addition, emptiness testing, point membership, projection (Fourier–Motzkin,
+see :mod:`repro.isl.fourier_motzkin`), and integer point enumeration for
+bounded sets (see :mod:`repro.isl.enumerate_points`).
+
+Unions of convex sets live in :mod:`repro.isl.sets`; affine relations in
+:mod:`repro.isl.relations`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from math import ceil, floor, gcd
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from .affine import AffineExpr
+
+__all__ = ["Constraint", "ConvexSet", "EQ", "GE"]
+
+EQ = "=="
+GE = ">="
+
+
+def _frac(x) -> Fraction:
+    if isinstance(x, Fraction):
+        return x
+    return Fraction(x)
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """A single affine constraint ``expr == 0`` or ``expr >= 0``."""
+
+    expr: AffineExpr
+    kind: str  # EQ or GE
+
+    def __post_init__(self):
+        if self.kind not in (EQ, GE):
+            raise ValueError(f"unknown constraint kind {self.kind!r}")
+
+    # -- constructors --------------------------------------------------------
+
+    @staticmethod
+    def eq(lhs, rhs=0) -> "Constraint":
+        """``lhs == rhs``"""
+        return Constraint(AffineExpr.from_any(lhs) - AffineExpr.from_any(rhs), EQ)
+
+    @staticmethod
+    def ge(lhs, rhs=0) -> "Constraint":
+        """``lhs >= rhs``"""
+        return Constraint(AffineExpr.from_any(lhs) - AffineExpr.from_any(rhs), GE)
+
+    @staticmethod
+    def le(lhs, rhs=0) -> "Constraint":
+        """``lhs <= rhs``"""
+        return Constraint(AffineExpr.from_any(rhs) - AffineExpr.from_any(lhs), GE)
+
+    @staticmethod
+    def lt(lhs, rhs=0) -> "Constraint":
+        """``lhs < rhs`` over the integers, i.e. ``lhs <= rhs - 1``."""
+        return Constraint(AffineExpr.from_any(rhs) - AffineExpr.from_any(lhs) - 1, GE)
+
+    @staticmethod
+    def gt(lhs, rhs=0) -> "Constraint":
+        """``lhs > rhs`` over the integers, i.e. ``lhs >= rhs + 1``."""
+        return Constraint(AffineExpr.from_any(lhs) - AffineExpr.from_any(rhs) - 1, GE)
+
+    # -- operations -----------------------------------------------------------
+
+    def normalized(self) -> "Constraint":
+        """Return an equivalent constraint with coprime integer coefficients.
+
+        For ``>=`` constraints the constant term is additionally tightened to
+        ``floor(c / g)`` (valid over the integers).
+        """
+        expr = self.expr.scaled_to_integer()
+        coeff_ints = [int(c) for _, c in expr.coeffs]
+        g = 0
+        for c in coeff_ints:
+            g = gcd(g, abs(c))
+        if g == 0:
+            return Constraint(expr, self.kind)
+        const = expr.constant
+        new_coeffs = {n: Fraction(int(c), g) for n, c in expr.coeffs}
+        if self.kind == GE:
+            new_const = Fraction(floor(Fraction(const, g)))
+        else:
+            if const % g != 0:
+                # Equality with non-divisible constant: unsatisfiable; keep as-is
+                # (emptiness detection happens at the set level).
+                return Constraint(expr, self.kind)
+            new_const = Fraction(const, g)
+        return Constraint(AffineExpr.build(new_coeffs, new_const), self.kind)
+
+    def negated(self) -> List["Constraint"]:
+        """Integer negation.
+
+        ``not (e >= 0)`` is ``-e - 1 >= 0``; ``not (e == 0)`` is the *disjunction*
+        ``e >= 1 or -e >= 1`` and therefore returns two constraints that the
+        caller must treat as alternatives (used by set subtraction).
+        """
+        if self.kind == GE:
+            return [Constraint((-self.expr) - 1, GE)]
+        return [Constraint(self.expr - 1, GE), Constraint((-self.expr) - 1, GE)]
+
+    def substitute(self, mapping) -> "Constraint":
+        return Constraint(self.expr.substitute(mapping), self.kind)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Constraint":
+        return Constraint(self.expr.rename(mapping), self.kind)
+
+    def satisfied_by(self, assignment: Mapping[str, int]) -> bool:
+        value = self.expr.evaluate(assignment)
+        return value == 0 if self.kind == EQ else value >= 0
+
+    def is_tautology(self) -> bool:
+        if self.expr.is_constant():
+            v = self.expr.constant
+            return v == 0 if self.kind == EQ else v >= 0
+        return False
+
+    def is_contradiction(self) -> bool:
+        if self.expr.is_constant():
+            v = self.expr.constant
+            return v != 0 if self.kind == EQ else v < 0
+        # An integer equality whose integer-scaled coefficients share a gcd not
+        # dividing the constant can never hold.
+        if self.kind == EQ:
+            expr = self.expr.scaled_to_integer()
+            g = 0
+            for _, c in expr.coeffs:
+                g = gcd(g, abs(int(c)))
+            if g > 1 and int(expr.constant) % g != 0:
+                return True
+        return False
+
+    def __str__(self) -> str:
+        return f"{self.expr} {'=' if self.kind == EQ else '>='} 0"
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Constraint({self})"
+
+
+@dataclass(frozen=True)
+class ConvexSet:
+    """A conjunction of affine constraints over ordered integer variables."""
+
+    variables: Tuple[str, ...]
+    constraints: Tuple[Constraint, ...] = ()
+    parameters: Tuple[str, ...] = ()
+
+    # -- constructors ---------------------------------------------------------
+
+    @staticmethod
+    def universe(variables: Sequence[str], parameters: Sequence[str] = ()) -> "ConvexSet":
+        return ConvexSet(tuple(variables), (), tuple(parameters))
+
+    @staticmethod
+    def from_constraints(
+        variables: Sequence[str],
+        constraints: Iterable[Constraint],
+        parameters: Sequence[str] = (),
+    ) -> "ConvexSet":
+        return ConvexSet(tuple(variables), tuple(constraints), tuple(parameters)).simplified()
+
+    @staticmethod
+    def from_box(
+        variables: Sequence[str], bounds: Sequence[Tuple[int, int]]
+    ) -> "ConvexSet":
+        """Rectangular set ``lo_k <= v_k <= hi_k``."""
+        if len(variables) != len(bounds):
+            raise ValueError("one (lo, hi) pair per variable required")
+        cons = []
+        for v, (lo, hi) in zip(variables, bounds):
+            cons.append(Constraint.ge(AffineExpr.variable(v), lo))
+            cons.append(Constraint.le(AffineExpr.variable(v), hi))
+        return ConvexSet.from_constraints(variables, cons)
+
+    # -- basic structure ------------------------------------------------------
+
+    @property
+    def dim(self) -> int:
+        return len(self.variables)
+
+    def all_symbols(self) -> Tuple[str, ...]:
+        return tuple(self.variables) + tuple(self.parameters)
+
+    def with_constraints(self, extra: Iterable[Constraint]) -> "ConvexSet":
+        return ConvexSet(
+            self.variables, self.constraints + tuple(extra), self.parameters
+        ).simplified()
+
+    def rename_variables(self, mapping: Mapping[str, str]) -> "ConvexSet":
+        return ConvexSet(
+            tuple(mapping.get(v, v) for v in self.variables),
+            tuple(c.rename(mapping) for c in self.constraints),
+            tuple(mapping.get(p, p) for p in self.parameters),
+        )
+
+    def bind_parameters(self, values: Mapping[str, int]) -> "ConvexSet":
+        """Substitute concrete values for (a subset of) the parameters."""
+        remaining = tuple(p for p in self.parameters if p not in values)
+        return ConvexSet(
+            self.variables,
+            tuple(c.substitute(values) for c in self.constraints),
+            remaining,
+        ).simplified()
+
+    # -- simplification -------------------------------------------------------
+
+    def simplified(self) -> "ConvexSet":
+        """Normalize constraints, drop tautologies, deduplicate."""
+        seen = set()
+        out: List[Constraint] = []
+        contradictory = False
+        for c in self.constraints:
+            n = c.normalized()
+            if n.is_tautology():
+                continue
+            if n.is_contradiction():
+                contradictory = True
+            key = (n.kind, n.expr.coeffs, n.expr.constant)
+            if key in seen:
+                continue
+            seen.add(key)
+            out.append(n)
+        if contradictory:
+            # Canonical empty set: a single unsatisfiable constraint.
+            out = [Constraint(AffineExpr.constant_expr(-1), GE)]
+        return ConvexSet(self.variables, tuple(out), self.parameters)
+
+    def is_obviously_empty(self) -> bool:
+        return any(c.is_contradiction() for c in self.constraints)
+
+    # -- membership & evaluation ---------------------------------------------
+
+    def contains(self, point: Sequence[int], params: Mapping[str, int] | None = None) -> bool:
+        """Exact membership test for a concrete integer point."""
+        if len(point) != len(self.variables):
+            raise ValueError(
+                f"point has {len(point)} coordinates, set has {len(self.variables)} variables"
+            )
+        assignment: Dict[str, Fraction] = {
+            v: Fraction(int(x)) for v, x in zip(self.variables, point)
+        }
+        if params:
+            assignment.update({k: Fraction(int(v)) for k, v in params.items()})
+        for p in self.parameters:
+            if p not in assignment:
+                raise ValueError(f"parameter {p!r} is unbound; pass params=...")
+        return all(c.satisfied_by(assignment) for c in self.constraints)
+
+    # -- bounds ---------------------------------------------------------------
+
+    def variable_bounds(
+        self, name: str, params: Mapping[str, int] | None = None
+    ) -> Tuple[Optional[int], Optional[int]]:
+        """Conservative integer bounds for one variable.
+
+        Uses Fourier–Motzkin elimination of every *other* variable and returns
+        the tightest constant lower/upper bounds found (``None`` if unbounded
+        in that direction).  Exact for the rational relaxation; conservative
+        (never too tight) for the integer set.
+        """
+        from .fourier_motzkin import project_onto
+
+        cs = self if params is None else self.bind_parameters(params)
+        projected = project_onto(cs, [name])
+        lower: Optional[Fraction] = None
+        upper: Optional[Fraction] = None
+        for c in projected.constraints:
+            coeff = c.expr.coeff(name)
+            rest = c.expr.drop([name])
+            if not rest.is_constant():
+                continue
+            if coeff == 0:
+                continue
+            if c.kind == EQ:
+                val = -rest.constant / coeff
+                lower = val if lower is None else max(lower, val)
+                upper = val if upper is None else min(upper, val)
+            else:
+                # coeff*name + rest >= 0
+                if coeff > 0:
+                    val = -rest.constant / coeff
+                    lower = val if lower is None else max(lower, val)
+                else:
+                    val = -rest.constant / coeff
+                    upper = val if upper is None else min(upper, val)
+        lo = None if lower is None else ceil(lower)
+        hi = None if upper is None else floor(upper)
+        return lo, hi
+
+    def bounding_box(
+        self, params: Mapping[str, int] | None = None
+    ) -> List[Tuple[Optional[int], Optional[int]]]:
+        """Per-variable conservative integer bounds."""
+        return [self.variable_bounds(v, params) for v in self.variables]
+
+    # -- emptiness ------------------------------------------------------------
+
+    def is_empty(self, params: Mapping[str, int] | None = None) -> bool:
+        """Exact integer emptiness for bounded sets.
+
+        Strategy: simplify; check for syntactic contradictions; check rational
+        feasibility by Fourier–Motzkin; if rationally feasible and the set is
+        bounded, search for an integer point by recursive descent on the
+        variable bounds.  Unbounded rationally-feasible sets are reported as
+        non-empty (they are, in every case arising from loop iteration spaces,
+        which always carry finite bounds once parameters are bound).
+        """
+        cs = (self if params is None else self.bind_parameters(params)).simplified()
+        if cs.is_obviously_empty():
+            return True
+        if cs.parameters:
+            # Parametric emptiness: fall back to the rational relaxation.
+            return _rationally_infeasible(cs)
+        if not cs.variables:
+            return any(not c.is_tautology() for c in cs.constraints)
+        if _rationally_infeasible(cs):
+            return True
+        return _find_integer_point(cs) is None
+
+    def sample_point(self, params: Mapping[str, int] | None = None) -> Optional[Tuple[int, ...]]:
+        """Return one integer point of the set, or ``None`` when empty."""
+        cs = (self if params is None else self.bind_parameters(params)).simplified()
+        if cs.is_obviously_empty() or _rationally_infeasible(cs):
+            return None
+        return _find_integer_point(cs)
+
+    # -- display --------------------------------------------------------------
+
+    def __str__(self) -> str:
+        vars_s = ", ".join(self.variables)
+        cons_s = " and ".join(str(c) for c in self.constraints) or "true"
+        if self.parameters:
+            return f"[{', '.join(self.parameters)}] -> {{ [{vars_s}] : {cons_s} }}"
+        return f"{{ [{vars_s}] : {cons_s} }}"
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"ConvexSet({self})"
+
+
+# ---------------------------------------------------------------------------
+# internal feasibility helpers
+# ---------------------------------------------------------------------------
+
+def _rationally_infeasible(cs: ConvexSet) -> bool:
+    """True when Fourier–Motzkin proves the rational relaxation empty."""
+    from .fourier_motzkin import eliminate_variable
+
+    constraints = list(cs.constraints)
+    names = list(cs.variables) + list(cs.parameters)
+    for name in names:
+        constraints = eliminate_variable(constraints, name)
+        for c in constraints:
+            if c.is_contradiction():
+                return True
+    return any(c.is_contradiction() for c in constraints)
+
+
+def _find_integer_point(cs: ConvexSet, _depth: int = 0) -> Optional[Tuple[int, ...]]:
+    """Depth-first search for an integer point using FME bounds per variable."""
+    if not cs.variables:
+        sat = all(c.is_tautology() or not c.expr.is_constant() for c in cs.constraints)
+        return () if sat and not cs.is_obviously_empty() else None
+    name = cs.variables[0]
+    rest_vars = cs.variables[1:]
+    lo, hi = cs.variable_bounds(name)
+    if lo is None or hi is None:
+        # Unbounded variable: try a window around zero as a pragmatic fallback.
+        lo = -64 if lo is None else lo
+        hi = 64 if hi is None else hi
+    if lo > hi:
+        return None
+    for value in range(lo, hi + 1):
+        substituted = [c.substitute({name: value}) for c in cs.constraints]
+        child = ConvexSet(rest_vars, tuple(substituted), cs.parameters).simplified()
+        if child.is_obviously_empty():
+            continue
+        if not rest_vars:
+            if all(c.is_tautology() for c in child.constraints):
+                return (value,)
+            continue
+        if _rationally_infeasible(child):
+            continue
+        sub = _find_integer_point(child, _depth + 1)
+        if sub is not None:
+            return (value,) + sub
+    return None

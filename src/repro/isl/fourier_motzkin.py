@@ -1,0 +1,141 @@
+"""Fourier–Motzkin elimination over affine constraints.
+
+Eliminating a variable from a conjunction of affine constraints produces the
+projection of the (rational) solution set onto the remaining variables.  The
+recurrence-chain partitioner uses it for:
+
+* computing conservative per-variable bounds of convex sets,
+* rational feasibility checks during emptiness tests,
+* deriving the loop bounds of generated DOALL nests (each loop level's bounds
+  come from projecting away the deeper levels), mirroring how the paper's
+  code-generation step produces the ``min``/``max``/ceil/floor bound
+  expressions of its listings.
+
+The integer projection is in general a superset of the true integer shadow
+(dark-shadow/Omega-test refinements are not implemented); all *exact* integer
+reasoning in this package is done by enumeration of bounded sets, and FME is
+used only where a conservative rational answer is sound.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from .affine import AffineExpr
+from .convex import Constraint, ConvexSet, EQ, GE
+
+__all__ = ["eliminate_variable", "eliminate_variables", "project_onto", "project_out"]
+
+
+def _substitute_equality(constraints: List[Constraint], name: str) -> List[Constraint] | None:
+    """If an equality pins ``name``, substitute it and return new constraints.
+
+    Returns ``None`` when no usable equality exists.  The substitution keeps
+    exactness because it happens over the rationals and membership tests
+    re-verify integrality.
+    """
+    for idx, c in enumerate(constraints):
+        if c.kind != EQ:
+            continue
+        coeff = c.expr.coeff(name)
+        if coeff == 0:
+            continue
+        # name = -(rest)/coeff
+        rest = c.expr.drop([name])
+        replacement = rest * (-1 / coeff)
+        out = []
+        for j, other in enumerate(constraints):
+            if j == idx:
+                continue
+            out.append(other.substitute({name: replacement}))
+        return out
+    return None
+
+
+def eliminate_variable(constraints: Iterable[Constraint], name: str) -> List[Constraint]:
+    """Eliminate one variable from a conjunction of constraints."""
+    cons = [c for c in constraints]
+    # Prefer substitution through an equality: exact and cheap.
+    substituted = _substitute_equality(cons, name)
+    if substituted is not None:
+        return [c for c in substituted]
+
+    lowers: List[Constraint] = []   # coeff > 0  : name >= -rest/coeff
+    uppers: List[Constraint] = []   # coeff < 0  : name <= -rest/coeff
+    others: List[Constraint] = []
+    for c in cons:
+        coeff = c.expr.coeff(name)
+        if coeff == 0:
+            others.append(c)
+        elif c.kind == EQ:
+            # No pinning equality found above means coeff == 0 for equalities;
+            # being defensive: treat as two inequalities.
+            others_from_eq = [Constraint(c.expr, GE), Constraint(-c.expr, GE)]
+            for ge in others_from_eq:
+                if ge.expr.coeff(name) > 0:
+                    lowers.append(ge)
+                else:
+                    uppers.append(ge)
+        elif coeff > 0:
+            lowers.append(c)
+        else:
+            uppers.append(c)
+
+    result = list(others)
+    for lo in lowers:
+        a = lo.expr.coeff(name)
+        lo_rest = lo.expr.drop([name])
+        for up in uppers:
+            b = -up.expr.coeff(name)
+            up_rest = up.expr.drop([name])
+            # lo: a*name + lo_rest >= 0  => name >= -lo_rest/a
+            # up: -b*name + up_rest >= 0 => name <= up_rest/b
+            # combined: b*lo_rest + a*up_rest >= 0
+            combined = lo_rest * b + up_rest * a
+            result.append(Constraint(combined, GE))
+    return [c.normalized() for c in result]
+
+
+def eliminate_variables(constraints: Iterable[Constraint], names: Sequence[str]) -> List[Constraint]:
+    """Eliminate several variables in the given order."""
+    cons = list(constraints)
+    for name in names:
+        cons = eliminate_variable(cons, name)
+        # Early exit on contradiction keeps the combinatorics in check.
+        if any(c.is_contradiction() for c in cons):
+            return [Constraint(AffineExpr.constant_expr(-1), GE)]
+        cons = _prune(cons)
+    return cons
+
+
+def _prune(constraints: List[Constraint]) -> List[Constraint]:
+    """Drop tautologies and duplicates to limit FME blow-up."""
+    seen = set()
+    out = []
+    for c in constraints:
+        n = c.normalized()
+        if n.is_tautology():
+            continue
+        key = (n.kind, n.expr.coeffs, n.expr.constant)
+        if key in seen:
+            continue
+        seen.add(key)
+        out.append(n)
+    return out
+
+
+def project_out(cs: ConvexSet, names: Sequence[str]) -> ConvexSet:
+    """Project away the given variables from a convex set."""
+    names = [n for n in names if n in cs.variables]
+    remaining = tuple(v for v in cs.variables if v not in names)
+    cons = eliminate_variables(list(cs.constraints), names)
+    return ConvexSet(remaining, tuple(cons), cs.parameters).simplified()
+
+
+def project_onto(cs: ConvexSet, names: Sequence[str]) -> ConvexSet:
+    """Project the set onto the given variables (eliminating all others)."""
+    keep = set(names)
+    drop = [v for v in cs.variables if v not in keep]
+    remaining = tuple(v for v in cs.variables if v in keep)
+    cons = eliminate_variables(list(cs.constraints), drop)
+    return ConvexSet(remaining, tuple(cons), cs.parameters).simplified()

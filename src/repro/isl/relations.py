@@ -1,0 +1,342 @@
+"""Affine and finite relations between iteration vectors.
+
+The dependence relation ``Rd`` of the paper maps iterations (or statement
+instances) to the iterations that depend on them.  Two representations are
+provided, mirroring the two ways the package reasons about dependences:
+
+* :class:`ConvexRelation` / :class:`UnionRelation` — symbolic relations whose
+  graph is a (union of) convex set(s) over ``in ++ out`` variables, supporting
+  ``dom``, ``ran``, inverse, composition and domain/range restriction.  This is
+  the Omega-library-like layer used to *derive* partitions, possibly with
+  symbolic parameters.
+* :class:`FiniteRelation` — an explicit set of integer pairs, produced by the
+  exact dependence analyser for concrete loop bounds and used by the
+  executors, the validators and the chain extractor.  All partition-safety
+  invariants are ultimately checked against this exact object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from .convex import Constraint, ConvexSet
+from .fourier_motzkin import project_onto
+from .lexorder import lex_lt
+from .sets import UnionSet
+
+__all__ = ["ConvexRelation", "UnionRelation", "FiniteRelation"]
+
+Point = Tuple[int, ...]
+Pair = Tuple[Point, Point]
+
+
+# ---------------------------------------------------------------------------
+# symbolic relations
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ConvexRelation:
+    """A relation whose graph is a single convex set over ``in_vars + out_vars``."""
+
+    in_vars: Tuple[str, ...]
+    out_vars: Tuple[str, ...]
+    graph: ConvexSet
+
+    @staticmethod
+    def from_constraints(
+        in_vars: Sequence[str],
+        out_vars: Sequence[str],
+        constraints: Iterable[Constraint],
+        parameters: Sequence[str] = (),
+    ) -> "ConvexRelation":
+        graph = ConvexSet.from_constraints(
+            tuple(in_vars) + tuple(out_vars), constraints, parameters
+        )
+        return ConvexRelation(tuple(in_vars), tuple(out_vars), graph)
+
+    def domain(self) -> ConvexSet:
+        """Projection of the graph onto the input variables."""
+        return project_onto(self.graph, self.in_vars)
+
+    def range(self) -> ConvexSet:
+        """Projection of the graph onto the output variables."""
+        return project_onto(self.graph, self.out_vars)
+
+    def inverse(self) -> "ConvexRelation":
+        return ConvexRelation(self.out_vars, self.in_vars, self.graph)
+
+    def intersect_domain(self, cs: ConvexSet) -> "ConvexRelation":
+        renamed = cs.rename_variables(dict(zip(cs.variables, self.in_vars)))
+        graph = self.graph.with_constraints(renamed.constraints)
+        return ConvexRelation(self.in_vars, self.out_vars, graph)
+
+    def intersect_range(self, cs: ConvexSet) -> "ConvexRelation":
+        renamed = cs.rename_variables(dict(zip(cs.variables, self.out_vars)))
+        graph = self.graph.with_constraints(renamed.constraints)
+        return ConvexRelation(self.in_vars, self.out_vars, graph)
+
+    def is_empty(self, params: Mapping[str, int] | None = None) -> bool:
+        return self.graph.is_empty(params)
+
+    def contains_pair(
+        self, src: Sequence[int], dst: Sequence[int], params: Mapping[str, int] | None = None
+    ) -> bool:
+        # The graph's variable order is fixed at construction; map the (src,
+        # dst) coordinates by variable *name* so inverse() keeps working.
+        assignment = dict(zip(self.in_vars, src))
+        assignment.update(dict(zip(self.out_vars, dst)))
+        point = tuple(assignment[v] for v in self.graph.variables)
+        return self.graph.contains(point, params)
+
+    def __str__(self) -> str:
+        return (
+            f"{{ [{', '.join(self.in_vars)}] -> [{', '.join(self.out_vars)}] : "
+            f"{' and '.join(str(c) for c in self.graph.constraints) or 'true'} }}"
+        )
+
+
+@dataclass(frozen=True)
+class UnionRelation:
+    """A finite union of :class:`ConvexRelation` pieces over the same spaces."""
+
+    in_vars: Tuple[str, ...]
+    out_vars: Tuple[str, ...]
+    pieces: Tuple[ConvexRelation, ...] = ()
+
+    @staticmethod
+    def empty(in_vars: Sequence[str], out_vars: Sequence[str]) -> "UnionRelation":
+        return UnionRelation(tuple(in_vars), tuple(out_vars), ())
+
+    @staticmethod
+    def from_pieces(pieces: Sequence[ConvexRelation]) -> "UnionRelation":
+        if not pieces:
+            raise ValueError("use UnionRelation.empty for an empty relation")
+        first = pieces[0]
+        for p in pieces:
+            if p.in_vars != first.in_vars or p.out_vars != first.out_vars:
+                raise ValueError("all pieces must share the same in/out spaces")
+        return UnionRelation(first.in_vars, first.out_vars, tuple(pieces))
+
+    def union(self, other: "UnionRelation") -> "UnionRelation":
+        if (self.in_vars, self.out_vars) != (other.in_vars, other.out_vars):
+            raise ValueError("cannot union relations over different spaces")
+        return UnionRelation(self.in_vars, self.out_vars, self.pieces + other.pieces)
+
+    def add(self, piece: ConvexRelation) -> "UnionRelation":
+        return UnionRelation(self.in_vars, self.out_vars, self.pieces + (piece,))
+
+    def domain(self) -> UnionSet:
+        members = [p.domain() for p in self.pieces]
+        return UnionSet.from_members(self.in_vars, members)
+
+    def range(self) -> UnionSet:
+        members = [p.range() for p in self.pieces]
+        return UnionSet.from_members(self.out_vars, members)
+
+    def inverse(self) -> "UnionRelation":
+        return UnionRelation(
+            self.out_vars, self.in_vars, tuple(p.inverse() for p in self.pieces)
+        )
+
+    def intersect_domain(self, sets: UnionSet) -> "UnionRelation":
+        pieces = []
+        for p in self.pieces:
+            for m in sets.members:
+                pieces.append(p.intersect_domain(m))
+        return UnionRelation(self.in_vars, self.out_vars, tuple(pieces))
+
+    def intersect_range(self, sets: UnionSet) -> "UnionRelation":
+        pieces = []
+        for p in self.pieces:
+            for m in sets.members:
+                pieces.append(p.intersect_range(m))
+        return UnionRelation(self.in_vars, self.out_vars, tuple(pieces))
+
+    def is_empty(self, params: Mapping[str, int] | None = None) -> bool:
+        return all(p.is_empty(params) for p in self.pieces)
+
+    def contains_pair(
+        self, src: Sequence[int], dst: Sequence[int], params: Mapping[str, int] | None = None
+    ) -> bool:
+        return any(p.contains_pair(src, dst, params) for p in self.pieces)
+
+    def enumerate_pairs(self, params: Mapping[str, int] | None = None) -> "FiniteRelation":
+        """Materialise the relation as explicit pairs (bounded graphs only)."""
+        pairs: Set[Pair] = set()
+        for p in self.pieces:
+            graph = p.graph if params is None else p.graph.bind_parameters(params)
+            from .enumerate_points import enumerate_convex
+
+            # Map graph coordinates to (in, out) by variable name so pieces
+            # whose graph stores the variables in a different order (e.g.
+            # inverted relations) still enumerate correctly.
+            positions = {name: k for k, name in enumerate(graph.variables)}
+            in_idx = [positions[name] for name in p.in_vars]
+            out_idx = [positions[name] for name in p.out_vars]
+            for point in enumerate_convex(graph):
+                src = tuple(point[k] for k in in_idx)
+                dst = tuple(point[k] for k in out_idx)
+                pairs.add((src, dst))
+        return FiniteRelation(
+            frozenset(pairs), dim_in=len(self.in_vars), dim_out=len(self.out_vars)
+        )
+
+    def __str__(self) -> str:
+        if not self.pieces:
+            return f"{{ [{', '.join(self.in_vars)}] -> [{', '.join(self.out_vars)}] : false }}"
+        return " ∪ ".join(str(p) for p in self.pieces)
+
+
+# ---------------------------------------------------------------------------
+# finite (explicit) relations
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FiniteRelation:
+    """An explicit finite relation: a set of (source, target) integer tuples."""
+
+    pairs: FrozenSet[Pair] = frozenset()
+    dim_in: int = 0
+    dim_out: int = 0
+
+    @staticmethod
+    def from_pairs(pairs: Iterable[Pair]) -> "FiniteRelation":
+        pair_set = frozenset((tuple(a), tuple(b)) for a, b in pairs)
+        dim_in = dim_out = 0
+        for a, b in pair_set:
+            dim_in, dim_out = len(a), len(b)
+            break
+        return FiniteRelation(pair_set, dim_in, dim_out)
+
+    # -- basic queries --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __iter__(self):
+        return iter(sorted(self.pairs))
+
+    def __contains__(self, pair: Pair) -> bool:
+        return (tuple(pair[0]), tuple(pair[1])) in self.pairs
+
+    def is_empty(self) -> bool:
+        return not self.pairs
+
+    def domain(self) -> FrozenSet[Point]:
+        return frozenset(a for a, _ in self.pairs)
+
+    def range(self) -> FrozenSet[Point]:
+        return frozenset(b for _, b in self.pairs)
+
+    def points(self) -> FrozenSet[Point]:
+        """All points touched by the relation (domain ∪ range)."""
+        return self.domain() | self.range()
+
+    # -- structure ------------------------------------------------------------
+
+    def inverse(self) -> "FiniteRelation":
+        return FiniteRelation(
+            frozenset((b, a) for a, b in self.pairs), self.dim_out, self.dim_in
+        )
+
+    def union(self, other: "FiniteRelation") -> "FiniteRelation":
+        return FiniteRelation.from_pairs(self.pairs | other.pairs)
+
+    def restrict(self, domain: Optional[Set[Point]] = None, rng: Optional[Set[Point]] = None) -> "FiniteRelation":
+        """Keep only pairs whose source is in ``domain`` and target in ``rng``."""
+        kept = frozenset(
+            (a, b)
+            for a, b in self.pairs
+            if (domain is None or a in domain) and (rng is None or b in rng)
+        )
+        return FiniteRelation(kept, self.dim_in, self.dim_out)
+
+    def successors(self, point: Point) -> List[Point]:
+        p = tuple(point)
+        return sorted(b for a, b in self.pairs if a == p)
+
+    def predecessors(self, point: Point) -> List[Point]:
+        p = tuple(point)
+        return sorted(a for a, b in self.pairs if b == p)
+
+    def successor_map(self) -> Dict[Point, List[Point]]:
+        out: Dict[Point, List[Point]] = {}
+        for a, b in self.pairs:
+            out.setdefault(a, []).append(b)
+        for v in out.values():
+            v.sort()
+        return out
+
+    def predecessor_map(self) -> Dict[Point, List[Point]]:
+        out: Dict[Point, List[Point]] = {}
+        for a, b in self.pairs:
+            out.setdefault(b, []).append(a)
+        for v in out.values():
+            v.sort()
+        return out
+
+    def compose(self, other: "FiniteRelation") -> "FiniteRelation":
+        """Relational composition: ``(a, c)`` when ``(a, b) ∈ self`` and ``(b, c) ∈ other``."""
+        succ = other.successor_map()
+        pairs = set()
+        for a, b in self.pairs:
+            for c in succ.get(b, ()):  # pragma: no branch
+                pairs.add((a, c))
+        return FiniteRelation(frozenset(pairs), self.dim_in, other.dim_out)
+
+    def transitive_closure(self) -> "FiniteRelation":
+        """The transitive closure ``R⁺`` (direct and indirect dependences)."""
+        succ = self.successor_map()
+        closure: Set[Pair] = set()
+        for start in succ:
+            # BFS from each source node.
+            stack = list(succ.get(start, ()))
+            visited: Set[Point] = set()
+            while stack:
+                node = stack.pop()
+                if node in visited:
+                    continue
+                visited.add(node)
+                closure.add((start, node))
+                stack.extend(succ.get(node, ()))
+        return FiniteRelation(frozenset(closure), self.dim_in, self.dim_out)
+
+    # -- order-related views ----------------------------------------------------
+
+    def lexicographically_forward(self) -> "FiniteRelation":
+        """Keep only pairs with ``source ≺ target`` (the R_succ part of eq. 4)."""
+        return FiniteRelation(
+            frozenset((a, b) for a, b in self.pairs if lex_lt(a, b)),
+            self.dim_in,
+            self.dim_out,
+        )
+
+    def lexicographically_backward(self) -> "FiniteRelation":
+        """Keep only pairs with ``target ≺ source`` (the R_pred part of eq. 4)."""
+        return FiniteRelation(
+            frozenset((a, b) for a, b in self.pairs if lex_lt(b, a)),
+            self.dim_in,
+            self.dim_out,
+        )
+
+    def oriented_forward(self) -> "FiniteRelation":
+        """Re-orient every pair so the source lexicographically precedes the target.
+
+        Self-pairs (``a == b``) are dropped: a dependence of an iteration on
+        itself does not constrain the parallel schedule.
+        """
+        pairs = set()
+        for a, b in self.pairs:
+            if a == b:
+                continue
+            pairs.add((a, b) if lex_lt(a, b) else (b, a))
+        return FiniteRelation(frozenset(pairs), self.dim_in, self.dim_out)
+
+    def distances(self) -> Set[Point]:
+        """The set of distance vectors ``target - source``."""
+        return {tuple(y - x for x, y in zip(a, b)) for a, b in self.pairs}
+
+    def __str__(self) -> str:
+        items = ", ".join(f"{a}->{b}" for a, b in sorted(self.pairs))
+        return f"{{ {items} }}"

@@ -1,0 +1,42 @@
+"""repro.runtime — executing, simulating and measuring partitioned schedules.
+
+* :mod:`repro.runtime.executor` — sequential reference execution, schedule
+  execution with shuffled intra-phase order, exact semantic validation;
+* :mod:`repro.runtime.threaded` — real thread-pool execution with phase
+  barriers (correctness under true concurrency);
+* :mod:`repro.runtime.simulator` — the deterministic SMP cost model behind the
+  figure-3 speedup reproductions;
+* :mod:`repro.runtime.metrics` — parallelism metrics, speedup tables and
+  scheme comparisons.
+"""
+
+from .executor import (
+    ArrayStore,
+    ValidationReport,
+    execute_schedule,
+    execute_sequential,
+    make_store,
+    validate_schedule,
+)
+from .metrics import SpeedupTable, compare_schemes, crossover_points, schedule_parallelism
+from .simulator import CostModel, SimulationResult, simulate_schedule, speedup_curve
+from .threaded import ThreadedRun, execute_schedule_threaded
+
+__all__ = [
+    "ArrayStore",
+    "make_store",
+    "execute_sequential",
+    "execute_schedule",
+    "validate_schedule",
+    "ValidationReport",
+    "execute_schedule_threaded",
+    "ThreadedRun",
+    "CostModel",
+    "SimulationResult",
+    "simulate_schedule",
+    "speedup_curve",
+    "SpeedupTable",
+    "compare_schemes",
+    "crossover_points",
+    "schedule_parallelism",
+]

@@ -1,0 +1,37 @@
+"""repro.workloads — the loops the experiments run on.
+
+* :mod:`repro.workloads.examples` — the paper's example loops (figure 1,
+  figure 2, Examples 2–4 including the Cholesky kernel);
+* :mod:`repro.workloads.synthetic` — random coupled-subscript loop generator
+  with ground-truth labels;
+* :mod:`repro.workloads.corpus` — the SPECfp95-like synthetic corpus used by
+  the statistics experiment (E12).
+"""
+
+from .corpus import SPECFP95_LIKE, CorpusComposition, build_corpus
+from .examples import (
+    PAPER_EXAMPLES,
+    cholesky_loop,
+    example2_loop,
+    example3_loop,
+    figure1_loop,
+    figure2_loop,
+    paper_example,
+)
+from .synthetic import SyntheticLoopSpec, generate_corpus_programs, random_coupled_loop
+
+__all__ = [
+    "figure1_loop",
+    "figure2_loop",
+    "example2_loop",
+    "example3_loop",
+    "cholesky_loop",
+    "paper_example",
+    "PAPER_EXAMPLES",
+    "SyntheticLoopSpec",
+    "random_coupled_loop",
+    "generate_corpus_programs",
+    "CorpusComposition",
+    "SPECFP95_LIKE",
+    "build_corpus",
+]

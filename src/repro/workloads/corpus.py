@@ -1,0 +1,120 @@
+"""A synthetic benchmark corpus standing in for the SPECfp95 static study.
+
+§1 of the paper motivates the technique with static statistics gathered over
+SPECfp95 and a 12-benchmark study by Shen, Li & Yew:
+
+* more than 46 % of the nested loops contain non-uniform data dependences,
+* about 45 % of two-dimensional array reference pairs have coupled linear
+  subscripts,
+* about 12.8 % of the coupled subscripts generate non-uniform dependences.
+
+The original benchmark sources are proprietary and not available offline, so
+the reproducible artifact is the *classifier* (which of a corpus' loops are
+coupled / uniform / non-uniform) plus a corpus generator whose composition is
+calibrated to the published percentages.  The statistics experiment (E12) runs
+the classifier over the generated corpus and checks that it recovers the
+generation fractions — i.e. the measurement methodology is validated even
+though the original inputs cannot be.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..ir.program import LoopProgram
+from .synthetic import SyntheticLoopSpec, random_coupled_loop
+
+__all__ = ["CorpusComposition", "SPECFP95_LIKE", "build_corpus"]
+
+
+@dataclass(frozen=True)
+class CorpusComposition:
+    """Target composition of a synthetic corpus.
+
+    ``coupled_fraction`` — fraction of loops whose reference pairs couple loop
+    indices in both references (the remainder use separable, single-index
+    subscripts);
+    ``nonuniform_given_coupled`` — among coupled loops, the fraction whose
+    coefficient matrices differ (producing non-uniform distances).
+    """
+
+    name: str
+    loops: int
+    coupled_fraction: float
+    nonuniform_given_coupled: float
+
+    @property
+    def expected_nonuniform_fraction(self) -> float:
+        return self.coupled_fraction * self.nonuniform_given_coupled
+
+
+#: Composition calibrated to the paper's §1 numbers: roughly 45 % of reference
+#: pairs coupled, and enough of those non-uniform that ≈46 % of loops carry a
+#: non-uniform dependence is plausible at loop granularity.  We keep the two
+#: published knobs and derive the third.
+SPECFP95_LIKE = CorpusComposition(
+    name="specfp95-like",
+    loops=200,
+    coupled_fraction=0.45,
+    nonuniform_given_coupled=0.5,
+)
+
+
+def build_corpus(
+    composition: CorpusComposition = SPECFP95_LIKE,
+    seed: int = 20040815,
+    n1: int = 8,
+    n2: int = 8,
+) -> List[SyntheticLoopSpec]:
+    """Generate a corpus with the requested composition (deterministic)."""
+    rng = random.Random(seed)
+    specs: List[SyntheticLoopSpec] = []
+    for k in range(composition.loops):
+        coupled = rng.random() < composition.coupled_fraction
+        if coupled:
+            uniform = rng.random() >= composition.nonuniform_given_coupled
+            spec = random_coupled_loop(
+                rng, n1=n1, n2=n2, force_uniform=uniform, name=f"{composition.name}-{k}"
+            )
+        else:
+            # Separable subscripts: diagonal matrices (each subscript uses a
+            # single distinct loop index), always uniform.
+            spec = _separable_loop(rng, n1, n2, name=f"{composition.name}-{k}")
+        specs.append(spec)
+    return specs
+
+
+def _separable_loop(
+    rng: random.Random, n1: int, n2: int, name: str
+) -> SyntheticLoopSpec:
+    """A loop whose subscripts are separable (X[I1+c1, I2+c2] both sides)."""
+    from ..ir.builder import aref, assign, loop, program
+    from ..ir.nodes import ArrayRef
+
+    c1, c2 = rng.randint(0, 3), rng.randint(0, 3)
+    d1, d2 = rng.randint(0, 3), rng.randint(0, 3)
+    size = n1 + n2 + 10
+    body = assign(
+        "s",
+        aref("x", f"I1+{c1}", f"I2+{c2}"),
+        [aref("x", f"I1+{d1}", f"I2+{d2}")],
+    )
+    prog = program(
+        name,
+        loop("I1", 1, n1, loop("I2", 1, n2, body)),
+        array_shapes={"x": (size, size)},
+    )
+    A = ((1, 0), (0, 1))
+    return SyntheticLoopSpec(
+        program=prog,
+        A=A,
+        a=(c1, c2),
+        B=A,
+        b=(d1, d2),
+        coupled=False,
+        uniform=True,
+        full_rank=True,
+        bounds=(n1, n2),
+    )

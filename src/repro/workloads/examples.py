@@ -1,0 +1,290 @@
+"""The paper's example loops, encoded in the IR.
+
+Each factory returns a :class:`~repro.ir.program.LoopProgram` matching one of
+the loops used in the paper:
+
+* :func:`figure1_loop`   — the running 2-D example (fig. 1 / Example 1):
+  ``a(3*I1+1, 2*I1+I2-1) = a(I1+3, I2+1)`` with bounds ``1..N1 × 1..N2``.
+* :func:`figure2_loop`   — the 1-D loop ``a(2*I) = a(21-I)`` with ``I = 1..20``
+  whose chains illustrate monotonic-chain splitting (fig. 2).
+* :func:`example2_loop`  — Ju & Chaudhary's loop (Example 2):
+  ``a(2*I+3, J+1) = a(I+2*J+1, I+J+3)`` with bounds ``1..N × 1..N``.
+* :func:`example3_loop`  — Chen & Yew's imperfectly nested loop (Example 3).
+* :func:`cholesky_loop`  — the NASA-benchmark Cholesky kernel (Example 4),
+  two imperfectly nested loop nests with multiple coupled subscripts.
+
+Array shapes are sized generously so that every affine subscript evaluated
+inside the iteration space lands inside the array (the runtime executors index
+real numpy arrays).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Tuple
+
+from ..ir.builder import aref, assign, loop, program
+from ..ir.program import LoopProgram
+
+__all__ = [
+    "figure1_loop",
+    "figure2_loop",
+    "example2_loop",
+    "example3_loop",
+    "cholesky_loop",
+    "PAPER_EXAMPLES",
+    "paper_example",
+]
+
+
+def figure1_loop(n1: Optional[int] = None, n2: Optional[int] = None) -> LoopProgram:
+    """Figure 1 / Example 1: the running non-uniform 2-D loop.
+
+    DO I1 = 1, N1
+      DO I2 = 1, N2
+        a(3*I1+1, 2*I1+I2-1) = a(I1+3, I2+1)
+
+    When ``n1``/``n2`` are given, the bounds are concrete; otherwise they stay
+    the symbolic parameters ``N1``/``N2``.
+    """
+    upper1 = n1 if n1 is not None else "N1"
+    upper2 = n2 if n2 is not None else "N2"
+    params = tuple(p for p, v in (("N1", n1), ("N2", n2)) if v is None)
+    shape_n1 = (n1 or 1000) + 1
+    shape_n2 = (n2 or 1000) + 1
+    body = assign(
+        "s",
+        aref("a", "3*I1+1", "2*I1+I2-1"),
+        [aref("a", "I1+3", "I2+1")],
+    )
+    return program(
+        "figure1",
+        loop("I1", 1, upper1, loop("I2", 1, upper2, body)),
+        parameters=params,
+        array_shapes={"a": (3 * shape_n1 + 2, 2 * shape_n1 + shape_n2 + 2)},
+    )
+
+
+def figure2_loop(n: int = 20) -> LoopProgram:
+    """Figure 2: the 1-D loop ``a(2*I) = a(21-I)``, I = 1..20.
+
+    The dependence solutions are ``{i -> j | 2i = 21 - j}``; splitting them
+    into monotonic chains gives chains of length two whose interior is empty,
+    so the whole loop partitions into two fully parallel sets.
+    """
+    body = assign("s", aref("a", "2*I"), [aref("a", f"{n + 1}-I")])
+    return program(
+        "figure2",
+        loop("I", 1, n, body),
+        array_shapes={"a": (2 * n + 2,)},
+    )
+
+
+def example2_loop(n: Optional[int] = None) -> LoopProgram:
+    """Example 2 (Ju & Chaudhary): ``a(2*I+3, J+1) = a(I+2*J+1, I+J+3)``.
+
+    DO I = 1, N
+      DO J = 1, N
+        a(2*I+3, J+1) = a(I+2*J+1, I+J+3)
+    """
+    upper = n if n is not None else "N"
+    params = () if n is not None else ("N",)
+    size = (n or 300) + 1
+    body = assign(
+        "s",
+        aref("a", "2*I+3", "J+1"),
+        [aref("a", "I+2*J+1", "I+J+3")],
+    )
+    return program(
+        "example2",
+        loop("I", 1, upper, loop("J", 1, upper, body)),
+        parameters=params,
+        array_shapes={"a": (3 * size + 4, 2 * size + 4)},
+    )
+
+
+def example3_loop(n: Optional[int] = None) -> LoopProgram:
+    """Example 3 (Chen & Yew): an imperfectly nested loop.
+
+    DO I = 1, N
+      DO J = 1, I
+        DO K = J, I
+          ... = a(I+2*K+5, 4*K-J)        (statement s1, read only)
+        ENDDO
+        a(I-J, I+J) = ...                (statement s2, write only)
+      ENDDO
+    ENDDO
+
+    The only cross-statement reference pair is (read in s1, write in s2); the
+    recurrence-chain partitioning finds an empty intermediate set so the loop
+    becomes two sequences of DOALL nests (P1 then P3).
+    """
+    upper = n if n is not None else "N"
+    params = () if n is not None else ("N",)
+    size = (n or 300) + 1
+    s1 = assign("s1", aref("tmp", "I", "J", "K"), [aref("a", "I+2*K+5", "4*K-J")])
+    s2 = assign("s2", aref("a", "I-J", "I+J"), [])
+    return program(
+        "example3",
+        loop("I", 1, upper, loop("J", 1, "I", loop("K", "J", "I", s1), s2)),
+        parameters=params,
+        array_shapes={
+            "a": (3 * size + 6, 4 * size + 2),
+            "tmp": (size + 1, size + 1, size + 1),
+        },
+    )
+
+
+def cholesky_loop(
+    nmat: int = 250, m: int = 4, n: int = 40, nrhs: int = 3
+) -> LoopProgram:
+    """Example 4: the NASA Cholesky kernel (two imperfectly nested loop nests).
+
+    The kernel is encoded with concrete parameters (the paper uses NMAT=250,
+    M=4, N=40, NRHS=3).  The ``MAX``/``MIN`` bounds of the original Fortran
+    (``I0 = MAX(-M, -J)``, ``MIN(M, N-K)``) are expressed with multi-expression
+    loop bounds; the backward substitution loop ``DO K = N, 0, -1`` is written
+    with ``stride=-1`` and the whole program is unit-stride normalized before
+    being returned, so downstream analyses always see the program model of §2.
+
+    The middle index of ``a`` is shifted by ``+M`` (a constant offset) so every
+    subscript evaluated inside the iteration space is non-negative and the
+    dense-array executors can index numpy arrays directly; a constant shift
+    changes no dependence.
+    """
+    from ..ir.normalize import normalize_program
+
+    shift = m
+
+    s3 = assign(
+        "s3",
+        aref("a", "L", f"I+{shift}", "J"),
+        [
+            aref("a", "L", f"I+{shift}", "J"),
+            aref("a", "L", f"JJ+{shift}", "I+J"),
+            aref("a", "L", f"I+JJ+{shift}", "J"),
+        ],
+    )
+    s2 = assign(
+        "s2",
+        aref("a", "L", f"I+{shift}", "J"),
+        [aref("a", "L", f"I+{shift}", "J"), aref("a", "L", f"{shift}", "I+J")],
+    )
+    s4 = assign("s4", aref("epss", "L"), [aref("a", "L", f"{shift}", "J")])
+    s5 = assign(
+        "s5",
+        aref("a", "L", f"{shift}", "J"),
+        [aref("a", "L", f"{shift}", "J"), aref("a", "L", f"JJ+{shift}", "J")],
+    )
+    s1 = assign(
+        "s1",
+        aref("a", "L", f"{shift}", "J"),
+        [aref("epss", "L"), aref("a", "L", f"{shift}", "J")],
+    )
+    s8 = assign(
+        "s8",
+        aref("b", "I", "L", "K"),
+        [aref("b", "I", "L", "K"), aref("a", "L", f"{shift}", "K")],
+    )
+    s7 = assign(
+        "s7",
+        aref("b", "I", "L", "K+JJ"),
+        [aref("b", "I", "L", "K+JJ"), aref("a", "L", f"-JJ+{shift}", "K+JJ"), aref("b", "I", "L", "K")],
+    )
+    s9 = assign(
+        "s9",
+        aref("b", "I", "L", "K2"),
+        [aref("b", "I", "L", "K2"), aref("a", "L", f"{shift}", "K2")],
+    )
+    s6 = assign(
+        "s6",
+        aref("b", "I", "L", "K2-JJ2"),
+        [aref("b", "I", "L", "K2-JJ2"), aref("a", "L", f"-JJ2+{shift}", "K2"), aref("b", "I", "L", "K2")],
+    )
+
+    # First nest: factorization.  I0 = MAX(-M, -J) appears in the lower bounds
+    # of the I loop and (via I0 - I = MAX(-M-I, -J-I)) of the innermost JJ loop.
+    nest1 = loop(
+        "J",
+        0,
+        n,
+        loop(
+            "I",
+            [f"-{m}", "-J"],
+            -1,
+            loop("JJ", [f"-{m}-I", "-J-I"], -1, loop("L", 0, nmat, s3)),
+            loop("L2", 0, nmat, _relabel(s2, "L", "L2")),
+        ),
+        loop("L3", 0, nmat, _relabel(s4, "L", "L3")),
+        loop(
+            "JJ3",
+            [f"-{m}", "-J"],
+            -1,
+            loop("L4", 0, nmat, _relabel(_relabel(s5, "JJ", "JJ3"), "L", "L4")),
+        ),
+        loop("L5", 0, nmat, _relabel(s1, "L", "L5")),
+    )
+
+    # Second nest: forward substitution (K ascending) then backward substitution
+    # (K descending, encoded with stride -1 over the same range).
+    nest2 = loop(
+        "I",
+        0,
+        nrhs,
+        loop(
+            "K",
+            0,
+            n,
+            loop("L", 0, nmat, s8),
+            loop("JJ", 1, [f"{m}", f"{n}-K"], loop("L6", 0, nmat, _relabel(s7, "L", "L6"))),
+        ),
+        loop(
+            "K2",
+            n,
+            0,
+            loop("L7", 0, nmat, _relabel(s9, "L", "L7")),
+            loop("JJ2", 1, [f"{m}", "K2"], loop("L8", 0, nmat, _relabel(s6, "L", "L8"))),
+            stride=-1,
+        ),
+    )
+    prog = program(
+        "cholesky",
+        nest1,
+        nest2,
+        array_shapes={
+            "a": (nmat + 1, 2 * m + 2, n + m + 2),
+            "b": (nrhs + 1, nmat + 1, n + m + 2),
+            "epss": (nmat + 1,),
+        },
+    )
+    return normalize_program(prog)
+
+
+def _relabel(stmt, old_index: str, new_index: str):
+    """Rename a loop index inside a statement's subscripts (helper for reuse)."""
+    from ..ir.nodes import ArrayRef, Statement
+
+    def fix(ref: ArrayRef) -> ArrayRef:
+        return ArrayRef(ref.array, tuple(s.rename({old_index: new_index}) for s in ref.subscripts))
+
+    return Statement(
+        stmt.label,
+        tuple(fix(r) for r in stmt.writes),
+        tuple(fix(r) for r in stmt.reads),
+        stmt.semantics,
+    )
+
+
+PAPER_EXAMPLES = {
+    "figure1": figure1_loop,
+    "figure2": figure2_loop,
+    "example2": example2_loop,
+    "example3": example3_loop,
+    "cholesky": cholesky_loop,
+}
+
+
+def paper_example(name: str, **kwargs) -> LoopProgram:
+    """Factory lookup by name (``figure1``, ``figure2``, ``example2``, ...)."""
+    if name not in PAPER_EXAMPLES:
+        raise KeyError(f"unknown paper example {name!r}; choose from {sorted(PAPER_EXAMPLES)}")
+    return PAPER_EXAMPLES[name](**kwargs)

@@ -1,0 +1,160 @@
+"""Synthetic non-uniform loop generator.
+
+Property-based tests and the statistics experiment need a stream of loop nests
+with controlled characteristics (coupled vs separable subscripts, uniform vs
+non-uniform distances, loop depth, bound sizes).  The generator produces
+2-D perfect nests of the same family as the paper's examples:
+
+    DO I1 = 1, N1
+      DO I2 = 1, N2
+        X[ I·A + a ] = X[ I·B + b ]
+
+with small random integer matrices A, B and offsets a, b.  The matrices are
+kept within a configurable magnitude so that subscripts stay inside a modest
+array and the exact analyser stays fast, and the generator reports the ground
+truth classification (uniform iff A == B) so classifier tests have labels.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..ir.builder import aref, assign, loop, program
+from ..ir.nodes import ArrayRef
+from ..ir.program import LoopProgram
+from ..isl.affine import AffineExpr
+
+__all__ = ["SyntheticLoopSpec", "random_coupled_loop", "generate_corpus_programs"]
+
+
+@dataclass(frozen=True)
+class SyntheticLoopSpec:
+    """Ground-truth description of one generated loop."""
+
+    program: LoopProgram
+    A: Tuple[Tuple[int, int], Tuple[int, int]]
+    a: Tuple[int, int]
+    B: Tuple[Tuple[int, int], Tuple[int, int]]
+    b: Tuple[int, int]
+    coupled: bool
+    uniform: bool
+    full_rank: bool
+    bounds: Tuple[int, int]
+
+
+def _subscript_exprs(
+    M: Sequence[Sequence[int]], offset: Sequence[int], names: Sequence[str]
+) -> List[AffineExpr]:
+    exprs = []
+    for col in range(len(offset)):
+        coeffs = {names[row]: M[row][col] for row in range(len(names)) if M[row][col] != 0}
+        exprs.append(AffineExpr.build(coeffs, offset[col]))
+    return exprs
+
+
+def _det2(M: Sequence[Sequence[int]]) -> int:
+    return M[0][0] * M[1][1] - M[0][1] * M[1][0]
+
+
+def random_coupled_loop(
+    rng: random.Random,
+    n1: int = 12,
+    n2: int = 12,
+    coeff_range: int = 3,
+    offset_range: int = 6,
+    force_uniform: Optional[bool] = None,
+    force_full_rank: bool = False,
+    name: str = "synthetic",
+) -> SyntheticLoopSpec:
+    """Generate one random 2-D coupled-subscript loop with known ground truth.
+
+    ``force_uniform=True`` copies A into B (guaranteeing uniform distances),
+    ``force_uniform=False`` re-draws B until it differs from A;
+    ``force_full_rank=True`` re-draws until both matrices are invertible.
+    """
+
+    def draw_matrix() -> Tuple[Tuple[int, int], Tuple[int, int]]:
+        while True:
+            M = tuple(
+                tuple(rng.randint(-coeff_range, coeff_range) for _ in range(2))
+                for _ in range(2)
+            )
+            if any(any(x != 0 for x in row) for row in M):
+                if not force_full_rank or _det2(M) != 0:
+                    return M
+
+    A = draw_matrix()
+    if force_uniform is True:
+        B = A
+    else:
+        B = draw_matrix()
+        while force_uniform is False and B == A:
+            B = draw_matrix()
+    a = (rng.randint(0, offset_range), rng.randint(0, offset_range))
+    b = (rng.randint(0, offset_range), rng.randint(0, offset_range))
+
+    names = ("I1", "I2")
+    # Shift subscripts so every access is non-negative inside the bounds.
+    max_extent = (coeff_range * (n1 + n2) + offset_range) * 2 + 4
+    shift = coeff_range * (n1 + n2) + offset_range + 2
+    write_subs = [e + shift for e in _subscript_exprs(A, a, names)]
+    read_subs = [e + shift for e in _subscript_exprs(B, b, names)]
+
+    body = assign(
+        "s",
+        ArrayRef("x", tuple(write_subs)),
+        [ArrayRef("x", tuple(read_subs))],
+    )
+    prog = program(
+        name,
+        loop("I1", 1, n1, loop("I2", 1, n2, body)),
+        array_shapes={"x": (2 * max_extent + shift, 2 * max_extent + shift)},
+    )
+    # "Coupled" in the paper's sense: some loop index feeds more than one
+    # subscript dimension, or some dimension mixes several indices, in either
+    # reference of the pair.
+    def is_coupled(M) -> bool:
+        rows_mixed = any(sum(1 for x in row if x != 0) >= 2 for row in M)
+        cols_mixed = any(
+            sum(1 for r in range(2) if M[r][c] != 0) >= 2 for c in range(2)
+        )
+        return rows_mixed or cols_mixed
+
+    coupled = is_coupled(A) or is_coupled(B)
+    return SyntheticLoopSpec(
+        program=prog,
+        A=A,
+        a=a,
+        B=B,
+        b=b,
+        coupled=coupled,
+        uniform=(A == B),
+        full_rank=(_det2(A) != 0 and _det2(B) != 0),
+        bounds=(n1, n2),
+    )
+
+
+def generate_corpus_programs(
+    seed: int,
+    count: int,
+    uniform_fraction: float = 0.5,
+    n1: int = 10,
+    n2: int = 10,
+) -> List[SyntheticLoopSpec]:
+    """A reproducible batch of synthetic loops with a given uniform fraction."""
+    rng = random.Random(seed)
+    specs = []
+    for k in range(count):
+        uniform = rng.random() < uniform_fraction
+        specs.append(
+            random_coupled_loop(
+                rng,
+                n1=n1,
+                n2=n2,
+                force_uniform=uniform,
+                name=f"synthetic-{k}",
+            )
+        )
+    return specs

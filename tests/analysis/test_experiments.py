@@ -1,0 +1,120 @@
+"""Tests for repro.analysis.experiments: the per-figure experiment harness."""
+
+import pytest
+
+from repro.analysis.experiments import (
+    run_example1_partition,
+    run_example2_partition,
+    run_example3_partition,
+    run_example4_dataflow,
+    run_figure1_dependences,
+    run_figure2_chains,
+    run_figure3_experiment,
+    run_intro_statistics,
+    run_theorem1_check,
+)
+from repro.analysis.report import format_dict, format_speedups, format_table
+
+
+class TestPerExperimentFacts:
+    def test_figure1_dependence_structure(self):
+        r = run_figure1_dependences(10, 10)
+        assert r["distances"] == [(2, 2), (4, 4), (6, 6)]
+        assert r["direct_dependences"] == 18
+        assert r["uniform"] is False
+        assert r["single_coupled_pair"] is True
+
+    def test_figure2_sets(self):
+        r = run_figure2_chains(20)
+        assert r["independent"] == [7, 12, 14, 16, 18, 20]
+        assert r["initial"] == [1, 2, 3, 4, 5, 6]
+        assert r["P2"] == []
+        assert r["P3"] == [8, 9, 10, 11, 13, 15, 17, 19]
+        assert (3, 9) in r["monotonic_pairs"] and (6, 9) in r["monotonic_pairs"]
+
+    def test_example1_partition(self):
+        r = run_example1_partition(20, 40)
+        assert r["validated"] is True
+        assert r["phases"] == 3
+        assert r["det_T"] == 3.0
+        assert r["longest_chain"] <= r["theorem1_bound"]
+
+    def test_example2_single_intermediate(self):
+        r = run_example2_partition(12)
+        assert r["P2_points"] == [(2, 6)]
+        assert r["validated"] is True
+
+    def test_example3_empty_intermediate(self):
+        r = run_example3_partition(40)
+        assert r["P2"] == 0
+        assert r["phases"] == 2
+        assert r["validated"] is True
+
+    def test_example4_dataflow_steps(self):
+        r = run_example4_dataflow(nmat=1, m=4, n=12, nrhs=1)
+        assert r["scheme"] == "dataflow"
+        assert r["partitioning_steps"] > 10
+        assert r["paper_steps"] == 238
+
+    def test_theorem1(self):
+        r = run_theorem1_check(sizes=((10, 10), (15, 25)))
+        assert r["all_hold"] is True
+        assert len(r["rows"]) == 2
+
+
+class TestFigure3:
+    def test_ex1_panel(self):
+        r = run_figure3_experiment("ex1", {"N1": 40, "N2": 80}, validate=True)
+        assert set(r["speedups"]) == {"REC", "PDM", "PL"}
+        assert all(r["validated"].values())
+        # REC is the overall winner on this panel (paper's headline claim)
+        assert r["winner_at"][4] == "REC"
+        # every scheme scales with the processor count
+        for name, values in r["speedups"].items():
+            assert values[-1] > values[0]
+
+    def test_ex2_panel(self):
+        r = run_figure3_experiment("ex2", {"N": 24})
+        assert set(r["speedups"]) == {"REC", "UNIQUE"}
+        assert r["winner_at"][4] == "REC"
+
+    def test_ex3_panel(self):
+        r = run_figure3_experiment("ex3", {"N": 30})
+        assert set(r["speedups"]) == {"REC", "PAR", "DOACROSS"}
+        assert r["winner_at"][4] == "REC"
+        rec = r["speedups"]["REC"]
+        doa = r["speedups"]["DOACROSS"]
+        assert rec[-1] >= doa[-1]
+
+    def test_ex4_panel(self):
+        r = run_figure3_experiment("ex4", {"NMAT": 2, "M": 2, "N": 10, "NRHS": 1})
+        assert set(r["speedups"]) == {"REC", "PDM"}
+        assert len(r["speedups"]["REC"]) == 4
+
+    def test_unknown_panel(self):
+        with pytest.raises(KeyError):
+            run_figure3_experiment("ex9")
+
+
+class TestStatisticsAndReporting:
+    def test_intro_statistics(self):
+        r = run_intro_statistics(loops=20, seed=5)
+        assert r["composition"]["loops"] == 20
+        assert 0 <= r["measured"]["coupled_fraction"] <= 1
+        assert abs(
+            r["measured"]["coupled_fraction"] - r["generated"]["coupled_fraction"]
+        ) < 1e-9
+        assert r["paper_reference"]["pairs_with_coupled_subscripts"] == 0.45
+
+    def test_format_table(self):
+        text = format_table(["a", "b"], [[1, 2], [30, 40]])
+        assert "a" in text and "30" in text
+
+    def test_format_speedups(self):
+        r = run_figure3_experiment("ex2", {"N": 16})
+        text = format_speedups(r)
+        assert "REC" in text and "p=4" in text
+
+    def test_format_dict_nested(self):
+        text = format_dict({"x": 1, "y": {"z": 2}})
+        assert "x: 1" in text and "z: 2" in text

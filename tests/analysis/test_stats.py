@@ -1,0 +1,73 @@
+"""Tests for repro.analysis.stats: the §1-style corpus statistics."""
+
+from repro.analysis.stats import classify_loop, corpus_statistics
+from repro.workloads.corpus import CorpusComposition, build_corpus
+from repro.workloads.examples import figure1_loop, figure2_loop
+from repro.ir.builder import aref, assign, loop, program
+
+
+def uniform_loop():
+    body = assign("s", aref("a", "I+1", "J"), [aref("a", "I", "J")])
+    return program("u", loop("I", 1, 6, loop("J", 1, 6, body)), array_shapes={"a": (20, 20)})
+
+
+class TestClassifyLoop:
+    def test_figure1_is_coupled_nonuniform(self):
+        c = classify_loop(figure1_loop(8, 8))
+        assert c.has_coupled_pair
+        assert c.has_dependences
+        assert not c.uniform_exact
+        assert c.non_uniform
+
+    def test_figure2_is_nonuniform(self):
+        # 1-D subscripts are not "coupled" in the multi-dimension sense, but the
+        # dependences are still non-uniform — exactly the fig. 2 situation.
+        c = classify_loop(figure2_loop(20))
+        assert c.has_dependences and c.non_uniform
+        assert not c.has_coupled_pair
+
+    def test_uniform_loop(self):
+        c = classify_loop(uniform_loop())
+        assert c.has_dependences
+        assert c.uniform_exact
+        assert not c.non_uniform
+        assert not c.has_coupled_pair
+
+    def test_matrix_only_classification(self):
+        c = classify_loop(figure1_loop(8, 8), exact=False)
+        assert c.uniform_exact is None
+        assert c.non_uniform  # falls back to the matrix-level answer
+
+
+class TestCorpusStatistics:
+    def test_measured_fractions_match_ground_truth(self):
+        comp = CorpusComposition("t", 40, 0.6, 0.6)
+        specs = build_corpus(comp, seed=123, n1=6, n2=6)
+        stats, classifications = corpus_statistics(specs, exact=True)
+        assert stats.total_loops == 40
+        assert len(classifications) == 40
+        # the classifier's coupled count equals the generator's label count
+        generated_coupled = sum(1 for s in specs if s.coupled)
+        assert stats.loops_with_coupled_subscripts == generated_coupled
+        # soundness direction: loops generated with identical matrices (uniform
+        # by construction) must never be classified as non-uniform.  (The
+        # converse does not hold: differing matrices can still happen to
+        # produce translation-invariant dependences inside small bounds.)
+        for spec, cls in zip(specs, classifications):
+            if spec.uniform:
+                assert not cls.non_uniform, spec.program.name
+
+    def test_fraction_properties(self):
+        comp = CorpusComposition("t", 30, 0.5, 0.5)
+        specs = build_corpus(comp, seed=7, n1=5, n2=5)
+        stats, _ = corpus_statistics(specs, exact=False)
+        d = stats.as_dict()
+        assert 0.0 <= d["coupled_fraction"] <= 1.0
+        assert 0.0 <= d["nonuniform_fraction"] <= d["coupled_fraction"] + 1e-9
+        assert stats.nonuniform_given_coupled <= 1.0
+
+    def test_empty_corpus(self):
+        stats, classifications = corpus_statistics([], exact=False)
+        assert stats.total_loops == 0
+        assert stats.coupled_fraction == 0.0
+        assert classifications == []

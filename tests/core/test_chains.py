@@ -1,0 +1,92 @@
+"""Tests for repro.core.chains: monotonic chain extraction (Lemma 1)."""
+
+import pytest
+
+from repro.core.chains import (
+    MonotonicChain,
+    chains_from_recurrence,
+    chains_from_relation,
+    split_into_monotonic_pairs,
+    verify_disjoint_chains,
+)
+from repro.core.partition import three_set_partition
+from repro.core.recurrence import AffineRecurrence
+from repro.dependence import DependenceAnalysis
+from repro.workloads.examples import example2_loop, figure1_loop, figure2_loop
+
+
+def setup(prog):
+    analysis = DependenceAnalysis(prog, {})
+    partition = three_set_partition(
+        analysis.iteration_space_points, analysis.iteration_dependences
+    )
+    recurrence = AffineRecurrence.from_pair(analysis.single_coupled_pair())
+    return analysis, partition, recurrence
+
+
+class TestMonotonicChain:
+    def test_must_be_increasing(self):
+        MonotonicChain(((1, 1), (2, 0)))
+        with pytest.raises(ValueError):
+            MonotonicChain(((2, 0), (1, 1)))
+
+    def test_accessors(self):
+        chain = MonotonicChain(((1,), (3,), (9,)))
+        assert len(chain) == 3
+        assert chain.start == (1,) and chain.end == (9,)
+        assert str(chain) == "(1,) -> (3,) -> (9,)"
+
+
+class TestFigure2Splitting:
+    def test_paper_chain_split(self):
+        """The solution chain 6 -> 9 -> 3 -> 15 splits into the monotonic pairs
+        6 -> 9, 3 -> 9 and 3 -> 15 (figure 2)."""
+        analysis = DependenceAnalysis(figure2_loop(20), {})
+        pairs = split_into_monotonic_pairs(analysis.iteration_dependences)
+        as_scalars = {(a[0], b[0]) for a, b in pairs}
+        assert {(6, 9), (3, 9), (3, 15)} <= as_scalars
+        # every pair is lexicographically forward
+        assert all(a < b for a, b in pairs)
+
+
+class TestChainExtraction:
+    def test_figure1_recurrence_chains_cover_p2_disjointly(self):
+        _, partition, recurrence = setup(figure1_loop(30, 40))
+        chains = chains_from_recurrence(partition, recurrence)
+        assert verify_disjoint_chains(chains, partition.p2)
+        assert len(chains) == len(partition.w)
+
+    def test_figure1_graph_chains_agree_with_recurrence_chains(self):
+        _, partition, recurrence = setup(figure1_loop(30, 40))
+        from_rec = {c.points for c in chains_from_recurrence(partition, recurrence)}
+        from_rel = {c.points for c in chains_from_relation(partition)}
+        assert from_rec == from_rel
+
+    def test_example2_chains(self):
+        _, partition, recurrence = setup(example2_loop(30))
+        chains = chains_from_recurrence(partition, recurrence)
+        assert verify_disjoint_chains(chains, partition.p2)
+        # every chain starts at a W iteration
+        assert {c.start for c in chains} == set(partition.w)
+
+    def test_chain_steps_are_direct_dependences(self):
+        analysis, partition, recurrence = setup(figure1_loop(40, 60))
+        rel = analysis.iteration_dependences
+        for chain in chains_from_recurrence(partition, recurrence):
+            for a, b in zip(chain.points, chain.points[1:]):
+                assert (a, b) in rel
+
+    def test_empty_intermediate_set_gives_no_chains(self):
+        _, partition, recurrence = setup(figure2_loop(20))
+        assert partition.p2 == frozenset()
+        assert chains_from_recurrence(partition, recurrence) == []
+        assert chains_from_relation(partition) == []
+
+    def test_verify_disjoint_chains_detects_overlap(self):
+        chains = [MonotonicChain(((1,), (2,))), MonotonicChain(((2,), (3,)))]
+        assert not verify_disjoint_chains(chains, {(1,), (2,), (3,)})
+
+    def test_verify_disjoint_chains_detects_missing_point(self):
+        chains = [MonotonicChain(((1,), (2,)))]
+        assert not verify_disjoint_chains(chains, {(1,), (2,), (3,)})
+        assert verify_disjoint_chains(chains, {(1,), (2,)})

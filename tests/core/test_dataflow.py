@@ -1,0 +1,94 @@
+"""Tests for repro.core.dataflow: iterative dataflow partitioning."""
+
+import pytest
+
+from repro.core.dataflow import dataflow_partition, dataflow_schedule
+from repro.core.statement import build_statement_space
+from repro.dependence import DependenceAnalysis
+from repro.isl.relations import FiniteRelation
+from repro.workloads.examples import cholesky_loop, figure1_loop
+
+
+def chain_relation(n):
+    return FiniteRelation.from_pairs([((i,), (i + 1,)) for i in range(1, n)])
+
+
+class TestDataflowPartition:
+    def test_chain_gives_one_wavefront_per_node(self):
+        space = [(i,) for i in range(1, 6)]
+        partition = dataflow_partition(space, chain_relation(5))
+        assert partition.num_steps == 5
+        assert [sorted(w) for w in partition.wavefronts] == [[(i,)] for i in range(1, 6)]
+
+    def test_independent_points_one_step(self):
+        space = [(i,) for i in range(10)]
+        partition = dataflow_partition(space, FiniteRelation(frozenset(), 1, 1))
+        assert partition.num_steps == 1
+        assert partition.total_points == 10
+
+    def test_invariants(self):
+        space = [(i,) for i in range(1, 9)]
+        rd = FiniteRelation.from_pairs(
+            [((1,), (3,)), ((2,), (3,)), ((3,), (7,)), ((4,), (8,))]
+        )
+        partition = dataflow_partition(space, rd)
+        assert partition.is_complete(space)
+        assert partition.respects_dependences()
+        # number of steps == longest path length (3 -> 7 has depth 3: 1,3,7)
+        assert partition.num_steps == 3
+
+    def test_step_count_equals_longest_chain(self):
+        prog = figure1_loop(30, 40)
+        analysis = DependenceAnalysis(prog, {})
+        partition = dataflow_partition(
+            analysis.iteration_space_points, analysis.iteration_dependences
+        )
+        closure = analysis.iteration_dependences.transitive_closure()
+        longest = 1
+        for src in closure.domain():
+            longest = max(longest, 1 + len({dst for s, dst in closure.pairs if s == src}))
+        assert partition.num_steps <= longest + 1
+        assert partition.respects_dependences()
+        assert partition.is_complete(analysis.iteration_space_points)
+
+    def test_cyclic_relation_detected(self):
+        space = [(1,), (2,)]
+        rd = FiniteRelation.from_pairs([((1,), (2,)), ((2,), (1,))])
+        with pytest.raises(RuntimeError):
+            dataflow_partition(space, rd)
+
+    def test_max_steps_guard(self):
+        space = [(i,) for i in range(1, 50)]
+        with pytest.raises(RuntimeError):
+            dataflow_partition(space, chain_relation(49), max_steps=5)
+
+    def test_level_of(self):
+        space = [(i,) for i in range(1, 4)]
+        partition = dataflow_partition(space, chain_relation(3))
+        levels = partition.level_of()
+        assert levels[(1,)] == 0 and levels[(3,)] == 2
+
+
+class TestDataflowSchedule:
+    def test_schedule_structure(self):
+        space = [(i,) for i in range(1, 5)]
+        schedule = dataflow_schedule("test", space, chain_relation(4), label="s")
+        assert schedule.num_phases == 4
+        assert schedule.total_work == 4
+        assert schedule.meta["num_steps"] == 4
+
+    def test_schedule_with_instance_mapping(self):
+        space = [(1,), (2,)]
+        mapping = {(1,): [("a", (1,)), ("b", (1,))], (2,): [("a", (2,))]}
+        schedule = dataflow_schedule(
+            "test", space, FiniteRelation(frozenset(), 1, 1), instances_of=mapping
+        )
+        assert schedule.total_work == 3
+
+    def test_cholesky_statement_level_dataflow(self):
+        prog = cholesky_loop(nmat=2, m=2, n=6, nrhs=1)
+        space = build_statement_space(prog, {})
+        partition = dataflow_partition(sorted(space.points), space.rd)
+        assert partition.is_complete(space.points)
+        assert partition.respects_dependences()
+        assert partition.num_steps > 5  # genuinely sequential structure

@@ -1,0 +1,114 @@
+"""End-to-end tests for Algorithm 1 (repro.core.partitioner)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import recurrence_chain_partition
+from repro.runtime import validate_schedule
+from repro.workloads.examples import (
+    cholesky_loop,
+    example2_loop,
+    example3_loop,
+    figure1_loop,
+    figure2_loop,
+)
+from repro.workloads.synthetic import random_coupled_loop
+
+
+class TestSchemeSelection:
+    def test_single_pair_full_rank_uses_chains(self):
+        assert recurrence_chain_partition(figure1_loop(10, 10)).scheme == "recurrence-chains"
+        assert recurrence_chain_partition(figure2_loop(20)).scheme == "recurrence-chains"
+        assert recurrence_chain_partition(example2_loop(12)).scheme == "recurrence-chains"
+
+    def test_imperfect_nest_uses_dataflow(self):
+        assert recurrence_chain_partition(example3_loop(20)).scheme == "dataflow"
+        assert (
+            recurrence_chain_partition(cholesky_loop(nmat=1, m=2, n=4, nrhs=1)).scheme
+            == "dataflow"
+        )
+
+    def test_force_dataflow(self):
+        result = recurrence_chain_partition(figure1_loop(10, 10), force_dataflow=True)
+        assert result.scheme == "dataflow"
+        # dataflow and chain schedules execute the same instances
+        chain_result = recurrence_chain_partition(figure1_loop(10, 10))
+        assert set(result.schedule.instances()) == set(chain_result.schedule.instances())
+
+
+class TestScheduleSafety:
+    @pytest.mark.parametrize(
+        "prog",
+        [
+            figure1_loop(12, 15),
+            figure2_loop(20),
+            example2_loop(12),
+            example2_loop(25),
+            example3_loop(35),
+        ],
+        ids=["fig1", "fig2", "ex2-small", "ex2-larger", "ex3"],
+    )
+    def test_schedule_is_semantically_correct(self, prog):
+        result = recurrence_chain_partition(prog)
+        deps = (
+            result.analysis.iteration_dependences
+            if result.partition is not None
+            else result.statement_space.rd
+        )
+        report = validate_schedule(prog, result.schedule, {}, dependences=deps, seeds=(0, 1))
+        assert report.ok, str(report)
+        assert report.respects_dependences
+
+    def test_three_phases_for_chain_scheme(self):
+        result = recurrence_chain_partition(figure1_loop(20, 30))
+        assert result.schedule.num_phases == 3
+        names = [p.name for p in result.schedule.phases]
+        assert "P1" in names[0] and "P2" in names[1] and "P3" in names[2]
+
+    def test_figure2_has_two_phases(self):
+        # empty intermediate set: P2 phase is dropped entirely
+        result = recurrence_chain_partition(figure2_loop(20))
+        assert result.schedule.num_phases == 2
+
+    def test_summary_contains_partition_counts(self):
+        result = recurrence_chain_partition(figure1_loop(10, 10))
+        s = result.summary()
+        assert s["P1"] == 82 and s["P2"] == 2 and s["P3"] == 16
+        assert s["scheme"] == "recurrence-chains"
+        assert s["theorem1_bound"] >= s["longest_chain"]
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=8, deadline=None)
+    def test_random_single_pair_loops(self, seed):
+        rng = random.Random(seed)
+        spec = random_coupled_loop(rng, n1=6, n2=6, force_full_rank=True)
+        result = recurrence_chain_partition(spec.program)
+        deps = (
+            result.analysis.iteration_dependences
+            if result.partition is not None
+            else result.statement_space.rd
+        )
+        report = validate_schedule(spec.program, result.schedule, {}, dependences=deps, seeds=(0,))
+        assert report.ok, f"seed {seed}: {report}"
+
+
+class TestExample4:
+    def test_dataflow_step_count_independent_of_nmat(self):
+        """The L dimension carries no dependences, so the number of dataflow
+        partitioning steps does not change with NMAT (allows scaled-down runs)."""
+        steps = []
+        for nmat in (1, 2):
+            result = recurrence_chain_partition(cholesky_loop(nmat=nmat, m=2, n=6, nrhs=1))
+            steps.append(result.schedule.num_phases)
+        assert steps[0] == steps[1]
+
+    def test_cholesky_schedule_valid(self):
+        prog = cholesky_loop(nmat=1, m=2, n=5, nrhs=1)
+        result = recurrence_chain_partition(prog)
+        report = validate_schedule(
+            prog, result.schedule, {}, dependences=result.statement_space.rd, seeds=(0,)
+        )
+        assert report.ok, str(report)

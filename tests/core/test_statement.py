@@ -1,0 +1,76 @@
+"""Tests for repro.core.statement: the §3.3 statement-level extension."""
+
+from repro.core.statement import build_statement_space
+from repro.dependence import DependenceAnalysis
+from repro.isl.lexorder import lex_lt
+from repro.workloads.examples import cholesky_loop, example3_loop, figure1_loop
+
+
+class TestUnifiedVectors:
+    def test_width_and_positions(self):
+        prog = example3_loop(6)
+        space = build_statement_space(prog, {})
+        # deepest statement s1 sits under 3 loops -> width 1 + 2*3 = 7
+        assert space.width == 7
+        assert set(space.positions) == {"s1", "s2"}
+
+    def test_unified_vectors_are_unique(self):
+        prog = example3_loop(6)
+        space = build_statement_space(prog, {})
+        assert len(set(space.unified)) == len(space.unified)
+
+    def test_program_order_is_lexicographic_order(self):
+        for prog, params in [
+            (example3_loop(6), {}),
+            (cholesky_loop(nmat=1, m=2, n=4, nrhs=1), {}),
+            (figure1_loop(4, 4), {}),
+        ]:
+            space = build_statement_space(prog, params)
+            seq = prog.sequential_iterations(params)
+            assert space.sequential_order_is_lexicographic(seq), prog.name
+
+    def test_instance_of_roundtrip(self):
+        prog = example3_loop(6)
+        space = build_statement_space(prog, {})
+        back = space.instance_of()
+        for inst, point in zip(space.instances, space.unified):
+            assert inst in back[point]
+
+    def test_instances_match_sequential_execution(self):
+        prog = example3_loop(8)
+        space = build_statement_space(prog, {})
+        assert list(space.instances) == [
+            (label, tuple(it)) for label, it in prog.sequential_iterations({})
+        ]
+
+
+class TestStatementLevelDependences:
+    def test_rd_is_forward_oriented(self):
+        prog = example3_loop(40)
+        space = build_statement_space(prog, {})
+        assert len(space.rd) > 0
+        for src, dst in space.rd.pairs:
+            assert lex_lt(src, dst)
+
+    def test_rd_points_are_instances(self):
+        prog = example3_loop(40)
+        space = build_statement_space(prog, {})
+        all_points = set(space.unified)
+        for src, dst in space.rd.pairs:
+            assert src in all_points and dst in all_points
+
+    def test_rd_consistent_with_pair_analysis(self):
+        prog = example3_loop(40)
+        analysis = DependenceAnalysis(prog, {})
+        space = build_statement_space(prog, {}, analysis)
+        n_pairs = sum(
+            len({(a, b) for a, b in d.relation.pairs if a != b})
+            for d in analysis.nonempty_pair_dependences()
+        )
+        # unified pairs may merge duplicates (same pair from both orientations)
+        assert 0 < len(space.rd) <= n_pairs
+
+    def test_cholesky_dependences_exist(self):
+        prog = cholesky_loop(nmat=1, m=2, n=4, nrhs=1)
+        space = build_statement_space(prog, {})
+        assert len(space.rd) > 0

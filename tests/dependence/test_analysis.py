@@ -1,0 +1,63 @@
+"""Tests for repro.dependence.analysis: the whole-program driver."""
+
+import pytest
+
+from repro.dependence.analysis import DependenceAnalysis
+from repro.workloads.examples import (
+    cholesky_loop,
+    example2_loop,
+    example3_loop,
+    figure1_loop,
+    figure2_loop,
+)
+
+
+class TestDriver:
+    def test_unbound_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            DependenceAnalysis(figure1_loop(), {})
+
+    def test_figure1_summary(self):
+        analysis = DependenceAnalysis(figure1_loop(10, 10), {})
+        s = analysis.summary()
+        assert s["n_direct_dependences"] == 18
+        assert s["single_coupled_pair"] is True
+        assert s["uniform"] is False
+
+    def test_figure2_summary(self):
+        analysis = DependenceAnalysis(figure2_loop(20), {})
+        assert analysis.has_single_coupled_pair()
+        assert len(analysis.iteration_dependences) == 9
+        assert len(analysis.iteration_space_points) == 20
+
+    def test_example2_single_pair(self):
+        analysis = DependenceAnalysis(example2_loop(12), {})
+        pair = analysis.single_coupled_pair()
+        assert pair is not None and pair.is_square_full_rank()
+
+    def test_example3_statement_level_facts(self):
+        analysis = DependenceAnalysis(example3_loop(40), {})
+        assert not analysis.has_single_coupled_pair() or analysis.has_dependences()
+        # iteration-level combined relation is undefined for imperfect nests
+        with pytest.raises(ValueError):
+            _ = analysis.iteration_dependences
+
+    def test_cholesky_has_multiple_coupled_pairs(self):
+        prog = cholesky_loop(nmat=2, m=2, n=5, nrhs=1)
+        analysis = DependenceAnalysis(prog, {})
+        assert len(analysis.reference_pairs) > 1
+        assert analysis.has_dependences()
+        assert not analysis.has_single_coupled_pair()
+
+    def test_pair_dependences_source_target_labels(self):
+        analysis = DependenceAnalysis(example3_loop(40), {})
+        labels = {
+            (d.source_label, d.target_label)
+            for d in analysis.nonempty_pair_dependences()
+        }
+        assert all({a, b} <= {"s1", "s2"} for a, b in labels)
+
+    def test_caching_returns_same_object(self):
+        analysis = DependenceAnalysis(figure1_loop(6, 6), {})
+        assert analysis.iteration_dependences is analysis.iteration_dependences
+        assert analysis.reference_pairs is analysis.reference_pairs

@@ -1,0 +1,84 @@
+"""Tests for repro.dependence.distance: distances, directions, uniformity."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dependence.analysis import DependenceAnalysis
+from repro.dependence.distance import (
+    classify_pair,
+    direction_vectors,
+    distance_vectors,
+    is_uniform_relation,
+)
+from repro.isl.relations import FiniteRelation
+from repro.ir.builder import aref, assign, loop, program
+from repro.workloads.examples import figure1_loop, figure2_loop
+from repro.workloads.synthetic import random_coupled_loop
+
+
+def uniform_2d(n=6):
+    body = assign("s", aref("a", "I+1", "J+2"), [aref("a", "I", "J")])
+    return program(
+        "uniform", loop("I", 1, n, loop("J", 1, n, body)), array_shapes={"a": (20, 20)}
+    )
+
+
+class TestDistanceAndDirection:
+    def test_figure1_distances(self):
+        rel = DependenceAnalysis(figure1_loop(10, 10), {}).iteration_dependences
+        assert distance_vectors(rel) == {(2, 2), (4, 4), (6, 6)}
+        assert direction_vectors(rel) == {("<", "<")}
+
+    def test_direction_vectors_mixed(self):
+        rel = FiniteRelation.from_pairs([((1, 5), (3, 2)), ((1, 1), (1, 4))])
+        assert direction_vectors(rel) == {("<", ">"), ("=", "<")}
+
+
+class TestUniformity:
+    def test_uniform_loop_is_uniform(self):
+        prog = uniform_2d()
+        analysis = DependenceAnalysis(prog, {})
+        assert is_uniform_relation(
+            analysis.iteration_dependences, analysis.iteration_space_points
+        )
+
+    def test_figure1_is_nonuniform(self):
+        analysis = DependenceAnalysis(figure1_loop(10, 10), {})
+        assert not analysis.is_uniform()
+
+    def test_figure2_is_nonuniform(self):
+        analysis = DependenceAnalysis(figure2_loop(20), {})
+        assert not analysis.is_uniform()
+
+    def test_empty_relation_is_uniform(self):
+        assert is_uniform_relation(FiniteRelation(frozenset(), 2, 2), [(1, 1), (2, 2)])
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=10, deadline=None)
+    def test_matrix_classification_consistent_with_exact(self, seed):
+        # A == B (forced uniform generation) must never be classified as
+        # non-uniform by the exhaustive check.
+        rng = random.Random(seed)
+        spec = random_coupled_loop(rng, n1=5, n2=5, force_uniform=True)
+        analysis = DependenceAnalysis(spec.program, {})
+        assert analysis.is_uniform()
+
+
+class TestClassifyPair:
+    def test_figure1(self):
+        pairs = DependenceAnalysis(figure1_loop(8, 8), {}).coupled_pairs
+        pair = [p for p in pairs if str(p.source_ref) != str(p.target_ref)][0]
+        c = classify_pair(pair)
+        assert c.coupled
+        assert not c.uniform_by_matrix
+        assert c.square_full_rank
+        assert c.non_uniform_candidate
+        assert c.ranks == (2, 2)
+
+    def test_uniform_pair(self):
+        pair = DependenceAnalysis(uniform_2d(), {}).coupled_pairs[0]
+        c = classify_pair(pair)
+        assert c.uniform_by_matrix
+        assert not c.non_uniform_candidate

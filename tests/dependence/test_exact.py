@@ -1,0 +1,128 @@
+"""Tests for repro.dependence.exact: exact dependences vs brute force."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dependence.analysis import DependenceAnalysis
+from repro.dependence.exact import enumerate_domain, exact_pair_dependences, reference_addresses
+from repro.ir.builder import aref, assign, loop, program
+from repro.workloads.examples import example3_loop, figure1_loop, figure2_loop
+from repro.workloads.synthetic import random_coupled_loop
+import random
+
+
+def brute_force_dependences(prog, params):
+    """All (i, j) pairs of different iterations touching the same element with a write."""
+    contexts = {ctx.statement.label: ctx for ctx in prog.statement_contexts()}
+    accesses = []  # (label, iteration, address, is_write)
+    for label, iteration in prog.sequential_iterations(params):
+        ctx = contexts[label]
+        env = dict(zip(ctx.index_names, iteration))
+        for ref in ctx.statement.writes:
+            accesses.append((label, iteration, (ref.array,) + ref.evaluate(env), True))
+        for ref in ctx.statement.reads:
+            accesses.append((label, iteration, (ref.array,) + ref.evaluate(env), False))
+    pairs = set()
+    by_addr = {}
+    for label, iteration, addr, is_write in accesses:
+        by_addr.setdefault(addr, []).append((label, iteration, is_write))
+    for addr, items in by_addr.items():
+        for a in items:
+            for b in items:
+                if a[1] == b[1] and a[0] == b[0]:
+                    continue
+                if a[2] or b[2]:
+                    pairs.add(((a[0], a[1]), (b[0], b[1])))
+    return pairs
+
+
+class TestEnumerateDomain:
+    def test_rectangular(self):
+        prog = figure1_loop(3, 4)
+        ctx = prog.statement_contexts()[0]
+        points = enumerate_domain(ctx, {})
+        assert points.shape == (12, 2)
+
+    def test_triangular(self):
+        prog = example3_loop(5)
+        ctx = prog.context_of("s1")
+        points = enumerate_domain(ctx, {})
+        assert all(1 <= i <= 5 and 1 <= j <= i and j <= k <= i for i, j, k in points.tolist())
+        expected = sum((i - j + 1) for i in range(1, 6) for j in range(1, i + 1))
+        assert len(points) == expected
+
+    def test_parametric_binding(self):
+        prog = figure1_loop()
+        ctx = prog.statement_contexts()[0]
+        points = enumerate_domain(ctx, {"N1": 2, "N2": 3}, prog.parameters)
+        assert len(points) == 6
+
+
+class TestReferenceAddresses:
+    def test_matches_pointwise_evaluation(self):
+        prog = figure1_loop(4, 4)
+        ctx = prog.statement_contexts()[0]
+        ref = ctx.statement.writes[0]
+        points = enumerate_domain(ctx, {})
+        addrs = reference_addresses(ref, ctx.index_names, points)
+        for point, addr in zip(points.tolist(), addrs.tolist()):
+            assert tuple(addr) == ref.evaluate(dict(zip(ctx.index_names, point)))
+
+
+class TestExactDependences:
+    def test_figure1_matches_brute_force(self):
+        prog = figure1_loop(10, 10)
+        analysis = DependenceAnalysis(prog, {})
+        rel = analysis.iteration_dependences
+        brute = brute_force_dependences(prog, {})
+        brute_iter_pairs = set()
+        for (l1, i1), (l2, i2) in brute:
+            if i1 == i2:
+                continue
+            brute_iter_pairs.add((min(i1, i2), max(i1, i2)))
+        assert set(rel.pairs) == brute_iter_pairs
+
+    def test_figure1_distances_match_paper(self):
+        prog = figure1_loop(10, 10)
+        rel = DependenceAnalysis(prog, {}).iteration_dependences
+        assert sorted(rel.distances()) == [(2, 2), (4, 4), (6, 6)]
+
+    def test_figure2_solutions(self):
+        prog = figure2_loop(20)
+        rel = DependenceAnalysis(prog, {}).iteration_dependences
+        for (i,), (j,) in rel.pairs:
+            assert 2 * i == 21 - j or 2 * j == 21 - i
+
+    def test_example3_no_dependence_at_small_n(self):
+        # the write a(I-J, I+J) and read a(I+2K+5, 4K-J) cannot collide for N <= 8
+        prog = example3_loop(8)
+        analysis = DependenceAnalysis(prog, {})
+        assert not analysis.has_dependences()
+
+    def test_example3_dependences_at_larger_n(self):
+        prog = example3_loop(40)
+        analysis = DependenceAnalysis(prog, {})
+        assert analysis.has_dependences()
+
+    def test_self_pairs_excluded_by_default(self):
+        body = assign("s", aref("a", "I"), [aref("a", "I")])
+        prog = program("selfloop", loop("I", 1, 5, body), array_shapes={"a": (10,)})
+        analysis = DependenceAnalysis(prog, {})
+        assert not analysis.has_dependences()
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=10, deadline=None)
+    def test_random_loops_match_brute_force(self, seed):
+        rng = random.Random(seed)
+        spec = random_coupled_loop(rng, n1=5, n2=5)
+        prog = spec.program
+        rel = DependenceAnalysis(prog, {}).iteration_dependences
+        brute = brute_force_dependences(prog, {})
+        brute_iter_pairs = set()
+        for (l1, i1), (l2, i2) in brute:
+            if i1 == i2:
+                continue
+            brute_iter_pairs.add((min(i1, i2), max(i1, i2)))
+        assert set(rel.pairs) == brute_iter_pairs

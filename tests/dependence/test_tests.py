@@ -1,0 +1,87 @@
+"""Tests for repro.dependence.tests: GCD and Banerjee conservativeness."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dependence.analysis import DependenceAnalysis
+from repro.dependence.tests import banerjee_test, combined_test, gcd_test
+from repro.ir.builder import aref, assign, loop, program
+from repro.workloads.examples import figure1_loop, figure2_loop
+from repro.workloads.synthetic import random_coupled_loop
+
+
+def make_1d(write_sub, read_sub, n=10, size=200):
+    body = assign("s", aref("a", write_sub), [aref("a", read_sub)])
+    return program("p", loop("I", 1, n, body), array_shapes={"a": (size,)})
+
+
+def write_read_pair(prog, params=None):
+    """The write/read reference pair (skip the write/write output-dependence pair)."""
+    analysis = DependenceAnalysis(prog, params or {})
+    pairs = [
+        p for p in analysis.coupled_pairs if str(p.source_ref) != str(p.target_ref)
+    ]
+    assert pairs
+    return pairs[0]
+
+
+class TestGcdTest:
+    def test_provable_independence(self):
+        # write 2I, read 2I+1: parity mismatch, gcd 2 does not divide 1
+        prog = make_1d("2*I", "2*I+1")
+        pair = write_read_pair(prog)
+        assert gcd_test(pair).independent
+
+    def test_cannot_disprove_dependence(self):
+        prog = figure1_loop(10, 10)
+        pair = DependenceAnalysis(prog, {}).coupled_pairs[0]
+        assert not gcd_test(pair).independent
+
+    def test_constant_mismatch_dimension(self):
+        body = assign("s", aref("a", "I", "3"), [aref("a", "I", "5")])
+        prog = program("p", loop("I", 1, 5, body), array_shapes={"a": (10, 10)})
+        pair = write_read_pair(prog)
+        assert gcd_test(pair).independent
+
+
+class TestBanerjeeTest:
+    def test_out_of_range_offsets(self):
+        # write a(I), read a(I+100) with I in 1..10: ranges never overlap
+        prog = make_1d("I", "I+100", n=10, size=300)
+        pair = write_read_pair(prog)
+        assert banerjee_test(pair, {}).independent
+
+    def test_overlapping_ranges_not_disproved(self):
+        prog = make_1d("I", "I+2", n=10)
+        pair = DependenceAnalysis(prog, {}).coupled_pairs[0]
+        assert not banerjee_test(pair, {}).independent
+
+    def test_figure2_not_disproved(self):
+        pair = DependenceAnalysis(figure2_loop(20), {}).coupled_pairs[0]
+        assert not banerjee_test(pair, {}).independent
+
+
+class TestSoundness:
+    """Neither test may declare independence when exact dependences exist."""
+
+    def check_soundness(self, prog):
+        analysis = DependenceAnalysis(prog, {})
+        for dep in analysis.pair_dependences:
+            if dep.is_empty() or not dep.pair.is_coupled():
+                continue
+            assert not gcd_test(dep.pair).independent
+            assert not banerjee_test(dep.pair, {}).independent
+            assert not combined_test(dep.pair, {}).independent
+
+    def test_paper_examples(self):
+        self.check_soundness(figure1_loop(10, 10))
+        self.check_soundness(figure2_loop(20))
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=15, deadline=None)
+    def test_random_loops(self, seed):
+        rng = random.Random(seed)
+        spec = random_coupled_loop(rng, n1=5, n2=5)
+        self.check_soundness(spec.program)

@@ -1,0 +1,75 @@
+"""Tests for repro.ir.builder: the affine parser and the construction helpers."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.ir.builder import E, aref, assign, loop, parse_affine, program
+from repro.isl.affine import AffineExpr, var
+
+
+class TestParser:
+    def test_simple_terms(self):
+        assert parse_affine("3") == AffineExpr.constant_expr(3)
+        assert parse_affine("I") == var("I")
+        assert parse_affine("-I") == -var("I")
+        assert parse_affine("+I") == var("I")
+
+    def test_linear_combinations(self):
+        assert parse_affine("3*I1+1") == var("I1") * 3 + 1
+        assert parse_affine("2*I1+I2-1") == var("I1") * 2 + var("I2") - 1
+        assert parse_affine("21-I") == 21 - var("I")
+        assert parse_affine("I*2") == var("I") * 2
+
+    def test_parentheses(self):
+        assert parse_affine("2*(I+3)") == var("I") * 2 + 6
+        assert parse_affine("-(I-J)") == var("J") - var("I")
+
+    def test_whitespace(self):
+        assert parse_affine(" 3 * I + 2 ") == var("I") * 3 + 2
+
+    def test_passthrough(self):
+        assert parse_affine(5) == AffineExpr.constant_expr(5)
+        assert parse_affine(Fraction(1, 2)).constant == Fraction(1, 2)
+        e = var("I") + 1
+        assert parse_affine(e) is e
+
+    def test_nonlinear_rejected(self):
+        with pytest.raises(ValueError):
+            parse_affine("I*J")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            parse_affine("I )")
+
+    def test_unbalanced_paren_rejected(self):
+        with pytest.raises(ValueError):
+            parse_affine("(I+1")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            parse_affine("")
+
+    def test_E_alias(self):
+        assert E("I+1") == var("I") + 1
+
+
+class TestBuilders:
+    def test_aref_parses_strings(self):
+        ref = aref("a", "2*I", "J+1")
+        assert ref.array == "a"
+        assert ref.subscripts[0] == var("I") * 2
+
+    def test_program_builder(self):
+        body = assign("s", aref("a", "I"), [aref("a", "I+1")])
+        prog = program(
+            "p", loop("I", 1, "N", body), parameters=["N"], array_shapes={"a": (50,)}
+        )
+        assert prog.name == "p"
+        assert prog.parameters == ("N",)
+        assert prog.array_shapes["a"] == (50,)
+        assert [s.label for s in prog.statements()] == ["s"]
+
+    def test_loop_list_bounds(self):
+        l = loop("I", [1, "J"], ["N", "M"])
+        assert len(l.lower) == 2 and len(l.upper) == 2

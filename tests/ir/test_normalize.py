@@ -1,0 +1,97 @@
+"""Tests for repro.ir.normalize: stride normalization."""
+
+import pytest
+
+from repro.ir.builder import aref, assign, loop, program
+from repro.ir.normalize import is_normalized, normalize_program
+
+
+def strided_program(start, end, stride):
+    body = assign("s", aref("a", "K"), [])
+    return program(
+        "p", loop("K", start, end, body, stride=stride), array_shapes={"a": (200,)}
+    )
+
+
+class TestNormalization:
+    def test_already_normalized_is_identity(self):
+        prog = strided_program(1, 10, 1)
+        assert is_normalized(prog)
+        out = normalize_program(prog)
+        assert out.sequential_iterations({}) == prog.sequential_iterations({})
+
+    def test_positive_stride(self):
+        prog = strided_program(2, 11, 3)  # K = 2, 5, 8, 11
+        out = normalize_program(prog)
+        assert is_normalized(out)
+        # The normalized loop visits 4 iterations whose subscript values are the
+        # original K values.
+        seq = out.sequential_iterations({})
+        assert len(seq) == 4
+        ctx = out.context_of("s")
+        touched = [ctx.statement.writes[0].evaluate(dict(zip(ctx.index_names, it)))[0]
+                   for _, it in seq]
+        assert touched == [2, 5, 8, 11]
+
+    def test_negative_stride(self):
+        prog = strided_program(10, 0, -1)  # K = 10, 9, ..., 0
+        out = normalize_program(prog)
+        assert is_normalized(out)
+        seq = out.sequential_iterations({})
+        ctx = out.context_of("s")
+        touched = [ctx.statement.writes[0].evaluate(dict(zip(ctx.index_names, it)))[0]
+                   for _, it in seq]
+        assert touched == list(range(10, -1, -1))
+
+    def test_negative_stride_subscript_order_preserved(self):
+        # original and normalized programs touch the same addresses in the same order
+        prog = strided_program(9, 1, -2)  # 9, 7, 5, 3, 1
+        ctx = prog.context_of("s")
+        original = [
+            ctx.statement.writes[0].evaluate(dict(zip(ctx.index_names, it)))[0]
+            for _, it in prog.sequential_iterations({})
+        ]
+        out = normalize_program(prog)
+        ctx2 = out.context_of("s")
+        normalized = [
+            ctx2.statement.writes[0].evaluate(dict(zip(ctx2.index_names, it)))[0]
+            for _, it in out.sequential_iterations({})
+        ]
+        assert original == normalized == [9, 7, 5, 3, 1]
+
+    def test_zero_stride_rejected(self):
+        prog = strided_program(1, 5, 0)
+        with pytest.raises(ValueError):
+            normalize_program(prog)
+
+    def test_empty_range(self):
+        prog = strided_program(5, 1, 2)  # no iterations
+        out = normalize_program(prog)
+        assert out.sequential_iterations({}) == []
+
+    def test_nested_substitution(self):
+        inner = assign("s", aref("a", "K+J"), [])
+        prog = program(
+            "p",
+            loop("K", 10, 2, loop("J", 1, 2, inner), stride=-2),
+            array_shapes={"a": (30,)},
+        )
+        out = normalize_program(prog)
+        assert is_normalized(out)
+        seq = out.sequential_iterations({})
+        assert len(seq) == 10  # 5 K values x 2 J values
+        ctx = out.context_of("s")
+        addresses = [
+            ctx.statement.writes[0].evaluate(dict(zip(ctx.index_names, it)))[0]
+            for _, it in seq
+        ]
+        expected = [k + j for k in range(10, 1, -2) for j in (1, 2)]
+        assert addresses == expected
+
+    def test_symbolic_nonunit_stride_rejected(self):
+        body = assign("s", aref("a", "K"), [])
+        prog = program(
+            "p", loop("K", 1, "N", body, stride=2), parameters=["N"], array_shapes={"a": (10,)}
+        )
+        with pytest.raises(ValueError):
+            normalize_program(prog)

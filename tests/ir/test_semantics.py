@@ -1,0 +1,47 @@
+"""Tests for repro.ir.semantics: the executable statement semantics."""
+
+from repro.ir.semantics import order_sensitive_semantics, sum_semantics
+
+
+class TestOrderSensitiveSemantics:
+    def test_deterministic(self):
+        a = order_sensitive_semantics({}, {"i": 1, "j": 2}, [5, 7])
+        b = order_sensitive_semantics({}, {"i": 1, "j": 2}, [5, 7])
+        assert a == b
+
+    def test_depends_on_read_order(self):
+        a = order_sensitive_semantics({}, {"i": 1}, [5, 7])
+        b = order_sensitive_semantics({}, {"i": 1}, [7, 5])
+        assert a != b
+
+    def test_depends_on_read_values(self):
+        a = order_sensitive_semantics({}, {"i": 1}, [5])
+        b = order_sensitive_semantics({}, {"i": 1}, [6])
+        assert a != b
+
+    def test_depends_on_iteration(self):
+        a = order_sensitive_semantics({}, {"i": 1, "j": 2}, [5])
+        b = order_sensitive_semantics({}, {"i": 2, "j": 1}, [5])
+        assert a != b
+
+    def test_chaining_is_not_commutative(self):
+        # applying updates in different orders produces different results,
+        # which is what lets the validator catch ordering bugs
+        v1 = order_sensitive_semantics({}, {"i": 1}, [10])
+        v2 = order_sensitive_semantics({}, {"i": 2}, [v1])
+        w1 = order_sensitive_semantics({}, {"i": 2}, [10])
+        w2 = order_sensitive_semantics({}, {"i": 1}, [w1])
+        assert v2 != w2
+
+    def test_bounded(self):
+        value = order_sensitive_semantics({}, {"i": 10**6}, [2**40, 2**41])
+        assert 0 <= value < 2_147_483_647
+
+    def test_integer_result(self):
+        assert isinstance(order_sensitive_semantics({}, {}, [1.0]), int)
+
+
+class TestSumSemantics:
+    def test_sum_plus_one(self):
+        assert sum_semantics({}, {}, [1, 2, 3]) == 7
+        assert sum_semantics({}, {}, []) == 1

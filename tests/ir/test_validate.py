@@ -1,0 +1,106 @@
+"""Tests for repro.ir.validate: static well-formedness checking."""
+
+import pytest
+
+from repro.ir.builder import aref, assign, loop, program
+from repro.ir.validate import check_program, validate_program
+from repro.workloads.examples import PAPER_EXAMPLES
+
+
+class TestValidation:
+    def test_paper_examples_are_well_formed(self):
+        for name, factory in PAPER_EXAMPLES.items():
+            if name == "cholesky":
+                prog = factory(nmat=2, m=2, n=4, nrhs=1)
+            elif name in ("figure1",):
+                prog = factory(6, 6)
+            elif name in ("example2", "example3"):
+                prog = factory(6)
+            else:
+                prog = factory()
+            assert validate_program(prog) == [], f"{name} should validate cleanly"
+
+    def test_duplicate_labels(self):
+        prog = program(
+            "p",
+            loop("I", 1, 3, assign("s", aref("a", "I")), assign("s", aref("a", "I"))),
+            array_shapes={"a": (10,)},
+        )
+        errors = validate_program(prog)
+        assert any("duplicate" in e.message for e in errors)
+
+    def test_unknown_symbol_in_subscript(self):
+        prog = program(
+            "p", loop("I", 1, 3, assign("s", aref("a", "I+M"))), array_shapes={"a": (10,)}
+        )
+        errors = validate_program(prog)
+        assert any("subscript" in e.message for e in errors)
+
+    def test_parameter_in_subscript_allowed(self):
+        prog = program(
+            "p",
+            loop("I", 1, 3, assign("s", aref("a", "I+M"))),
+            parameters=["M"],
+            array_shapes={"a": (10,)},
+        )
+        assert validate_program(prog) == []
+
+    def test_bound_with_inner_symbol(self):
+        prog = program(
+            "p",
+            loop("I", 1, "J", assign("s", aref("a", "I"))),
+            array_shapes={"a": (10,)},
+        )
+        errors = validate_program(prog)
+        assert any("bound" in e.message for e in errors)
+
+    def test_reused_loop_index(self):
+        prog = program(
+            "p",
+            loop("I", 1, 3, loop("I", 1, 2, assign("s", aref("a", "I")))),
+            array_shapes={"a": (10,)},
+        )
+        errors = validate_program(prog)
+        assert any("re-uses" in e.message for e in errors)
+
+    def test_zero_stride(self):
+        prog = program(
+            "p",
+            loop("I", 1, 3, assign("s", aref("a", "I")), stride=0),
+            array_shapes={"a": (10,)},
+        )
+        errors = validate_program(prog)
+        assert any("stride" in e.message for e in errors)
+
+    def test_rank_mismatch_against_declared_shape(self):
+        prog = program(
+            "p",
+            loop("I", 1, 3, assign("s", aref("a", "I", "I"))),
+            array_shapes={"a": (10,)},
+        )
+        errors = validate_program(prog)
+        assert any("dimensions" in e.message for e in errors)
+
+    def test_statement_without_write(self):
+        from repro.ir.nodes import Statement
+
+        prog = program(
+            "p", loop("I", 1, 3, Statement("s", (), (aref("a", "I"),))), array_shapes={"a": (10,)}
+        )
+        errors = validate_program(prog)
+        assert any("write" in e.message for e in errors)
+
+    def test_check_program_raises_with_details(self):
+        prog = program(
+            "p", loop("I", 1, 3, assign("s", aref("a", "I+M"))), array_shapes={"a": (10,)}
+        )
+        with pytest.raises(ValueError) as exc:
+            check_program(prog)
+        assert "s" in str(exc.value)
+
+    def test_error_str(self):
+        prog = program(
+            "p", loop("I", 1, 3, assign("s", aref("a", "I+M"))), array_shapes={"a": (10,)}
+        )
+        err = validate_program(prog)[0]
+        assert "statement s" in str(err)

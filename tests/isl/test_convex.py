@@ -1,0 +1,181 @@
+"""Tests for repro.isl.convex: constraints, convex sets, emptiness, bounds."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isl.affine import AffineExpr, var
+from repro.isl.convex import Constraint, ConvexSet, EQ, GE
+
+
+class TestConstraint:
+    def test_ge_le_lt_gt(self):
+        i = var("i")
+        assert Constraint.ge(i, 3).satisfied_by({"i": 3})
+        assert not Constraint.ge(i, 3).satisfied_by({"i": 2})
+        assert Constraint.le(i, 3).satisfied_by({"i": 3})
+        assert not Constraint.lt(i, 3).satisfied_by({"i": 3})
+        assert Constraint.lt(i, 3).satisfied_by({"i": 2})
+        assert Constraint.gt(i, 3).satisfied_by({"i": 4})
+        assert Constraint.eq(i, 3).satisfied_by({"i": 3})
+
+    def test_invalid_kind(self):
+        with pytest.raises(ValueError):
+            Constraint(var("i"), "<=")
+
+    def test_normalized_divides_by_gcd(self):
+        c = Constraint.ge(var("i") * 4, 6)  # 4i - 6 >= 0 -> 2i - 3 >= 0 -> i >= 2 (tighten)
+        n = c.normalized()
+        assert n.expr.coeff("i") in (1, 2)
+        # the tightened constraint must still accept exactly i >= 2
+        assert n.satisfied_by({"i": 2})
+        assert not n.satisfied_by({"i": 1})
+
+    def test_normalized_equality_unsat_detected_at_contradiction(self):
+        c = Constraint.eq(var("i") * 2, 3)  # 2i == 3 has no integer solution
+        assert c.is_contradiction()
+
+    def test_negated_ge(self):
+        c = Constraint.ge(var("i"), 3)
+        (neg,) = c.negated()
+        assert neg.satisfied_by({"i": 2})
+        assert not neg.satisfied_by({"i": 3})
+
+    def test_negated_eq_gives_two_branches(self):
+        c = Constraint.eq(var("i"), 3)
+        branches = c.negated()
+        assert len(branches) == 2
+        assert any(b.satisfied_by({"i": 4}) for b in branches)
+        assert any(b.satisfied_by({"i": 2}) for b in branches)
+        assert not any(b.satisfied_by({"i": 3}) for b in branches)
+
+    def test_tautology_and_contradiction(self):
+        assert Constraint.ge(AffineExpr.constant_expr(1), 0).is_tautology()
+        assert Constraint.ge(AffineExpr.constant_expr(-1), 0).is_contradiction()
+        assert Constraint.eq(AffineExpr.constant_expr(0), 0).is_tautology()
+
+
+class TestConvexSetBasics:
+    def test_box_membership(self):
+        cs = ConvexSet.from_box(["i", "j"], [(1, 5), (2, 4)])
+        assert cs.contains((1, 2))
+        assert cs.contains((5, 4))
+        assert not cs.contains((0, 3))
+        assert not cs.contains((3, 5))
+
+    def test_contains_wrong_arity(self):
+        cs = ConvexSet.from_box(["i"], [(1, 5)])
+        with pytest.raises(ValueError):
+            cs.contains((1, 2))
+
+    def test_box_requires_matching_bounds(self):
+        with pytest.raises(ValueError):
+            ConvexSet.from_box(["i", "j"], [(1, 5)])
+
+    def test_universe(self):
+        u = ConvexSet.universe(["i"])
+        assert u.contains((123456,))
+
+    def test_parameter_binding(self):
+        cs = ConvexSet.from_constraints(
+            ["i"], [Constraint.ge("i", 1), Constraint.le("i", "N")], parameters=["N"]
+        )
+        bound = cs.bind_parameters({"N": 3})
+        assert bound.parameters == ()
+        assert bound.contains((3,))
+        assert not bound.contains((4,))
+
+    def test_unbound_parameter_membership_raises(self):
+        cs = ConvexSet.from_constraints(
+            ["i"], [Constraint.le("i", "N")], parameters=["N"]
+        )
+        with pytest.raises(ValueError):
+            cs.contains((1,))
+        assert cs.contains((1,), params={"N": 5})
+
+    def test_rename_variables(self):
+        cs = ConvexSet.from_box(["i"], [(1, 3)]).rename_variables({"i": "x"})
+        assert cs.variables == ("x",)
+        assert cs.contains((2,))
+
+    def test_simplified_deduplicates(self):
+        c = Constraint.ge("i", 1)
+        cs = ConvexSet(("i",), (c, c, Constraint.ge(AffineExpr.constant_expr(3), 0)))
+        assert len(cs.simplified().constraints) == 1
+
+
+class TestBoundsAndEmptiness:
+    def test_variable_bounds_box(self):
+        cs = ConvexSet.from_box(["i", "j"], [(1, 10), (2, 7)])
+        assert cs.variable_bounds("i") == (1, 10)
+        assert cs.variable_bounds("j") == (2, 7)
+
+    def test_variable_bounds_triangular(self):
+        cs = ConvexSet.from_constraints(
+            ["i", "j"],
+            [
+                Constraint.ge("i", 1),
+                Constraint.le("i", 6),
+                Constraint.ge("j", "i"),
+                Constraint.le("j", 6),
+            ],
+        )
+        assert cs.variable_bounds("j") == (1, 6)
+        assert cs.variable_bounds("i") == (1, 6)
+
+    def test_bounding_box(self):
+        cs = ConvexSet.from_box(["i", "j"], [(0, 3), (5, 9)])
+        assert cs.bounding_box() == [(0, 3), (5, 9)]
+
+    def test_empty_by_contradictory_bounds(self):
+        cs = ConvexSet.from_box(["i"], [(5, 3)])
+        assert cs.is_empty()
+
+    def test_empty_by_rational_infeasibility(self):
+        cs = ConvexSet.from_constraints(
+            ["i", "j"],
+            [Constraint.ge("i", "j"), Constraint.ge("j", AffineExpr.variable("i") + 1)],
+        )
+        assert cs.is_empty()
+
+    def test_empty_by_integrality(self):
+        # 1 <= 2i <= 1 has no integer solution although rationally feasible
+        cs = ConvexSet.from_constraints(
+            ["i"],
+            [Constraint.ge(var("i") * 2, 1), Constraint.le(var("i") * 2, 1)],
+        )
+        assert cs.is_empty()
+
+    def test_nonempty_samples_a_member(self):
+        cs = ConvexSet.from_box(["i", "j"], [(2, 4), (3, 3)])
+        assert not cs.is_empty()
+        point = cs.sample_point()
+        assert point is not None
+        assert cs.contains(point)
+
+    def test_sample_point_empty(self):
+        assert ConvexSet.from_box(["i"], [(5, 3)]).sample_point() is None
+
+    def test_parametric_emptiness_uses_rational_relaxation(self):
+        cs = ConvexSet.from_constraints(
+            ["i"],
+            [Constraint.ge("i", "N"), Constraint.le("i", "N")],
+            parameters=["N"],
+        )
+        assert not cs.is_empty()
+
+
+class TestConvexSetProperty:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 6), st.integers(0, 6)), min_size=2, max_size=2
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_membership_matches_box_definition(self, ranges):
+        bounds = [(min(a, b), max(a, b)) for a, b in ranges]
+        cs = ConvexSet.from_box(["i", "j"], bounds)
+        for i in range(-1, 8):
+            for j in range(-1, 8):
+                expected = bounds[0][0] <= i <= bounds[0][1] and bounds[1][0] <= j <= bounds[1][1]
+                assert cs.contains((i, j)) == expected

@@ -1,0 +1,108 @@
+"""Tests for repro.isl.fourier_motzkin: projection vs brute-force enumeration."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isl.affine import var
+from repro.isl.convex import Constraint, ConvexSet
+from repro.isl.enumerate_points import enumerate_convex
+from repro.isl.fourier_motzkin import eliminate_variable, project_onto, project_out
+
+
+def brute_projection(points, keep_indices):
+    return sorted({tuple(p[k] for k in keep_indices) for p in points})
+
+
+class TestElimination:
+    def test_substitution_through_equality(self):
+        cons = [
+            Constraint.eq(var("j"), var("i") + 2),
+            Constraint.ge(var("j"), 5),
+        ]
+        out = eliminate_variable(cons, "j")
+        # j = i + 2 and j >= 5  =>  i >= 3
+        cs = ConvexSet(("i",), tuple(out))
+        assert cs.contains((3,))
+        assert not cs.contains((2,))
+
+    def test_lower_upper_combination(self):
+        cons = [
+            Constraint.ge(var("x"), var("a")),       # x >= a
+            Constraint.le(var("x"), var("b")),       # x <= b
+        ]
+        out = eliminate_variable(cons, "x")
+        cs = ConvexSet(("a", "b"), tuple(out))
+        assert cs.contains((2, 5))
+        assert not cs.contains((5, 2))
+
+    def test_contradiction_detected(self):
+        cons = [Constraint.ge(var("x"), 5), Constraint.le(var("x"), 3)]
+        out = eliminate_variable(cons, "x")
+        assert any(c.is_contradiction() for c in out)
+
+
+class TestProjection:
+    def test_project_out_box(self):
+        cs = ConvexSet.from_box(["i", "j"], [(1, 4), (2, 6)])
+        projected = project_out(cs, ["j"])
+        assert projected.variables == ("i",)
+        assert projected.variable_bounds("i") == (1, 4)
+
+    def test_project_onto_keeps_requested(self):
+        cs = ConvexSet.from_box(["i", "j", "k"], [(1, 2), (3, 4), (5, 6)])
+        projected = project_onto(cs, ["j"])
+        assert projected.variables == ("j",)
+        assert projected.variable_bounds("j") == (3, 4)
+
+    def test_triangular_projection(self):
+        # 1 <= i <= 5, i <= j <= 5 : projection onto j is [1, 5]
+        cs = ConvexSet.from_constraints(
+            ["i", "j"],
+            [
+                Constraint.ge("i", 1),
+                Constraint.le("i", 5),
+                Constraint.ge("j", "i"),
+                Constraint.le("j", 5),
+            ],
+        )
+        projected = project_onto(cs, ["j"])
+        assert projected.variable_bounds("j") == (1, 5)
+
+    def test_projection_is_superset_of_true_shadow(self):
+        # 2i = j with 1 <= j <= 6: true shadow of j is even values, the
+        # rational projection is the full interval — conservative, never smaller.
+        cs = ConvexSet.from_constraints(
+            ["i", "j"],
+            [
+                Constraint.eq(var("j"), var("i") * 2),
+                Constraint.ge("j", 1),
+                Constraint.le("j", 6),
+            ],
+        )
+        projected = project_onto(cs, ["j"])
+        true_shadow = brute_projection(enumerate_convex(cs), [1])
+        for (j,) in true_shadow:
+            assert projected.contains((j,))
+
+    @given(
+        st.tuples(st.integers(0, 4), st.integers(0, 4), st.integers(0, 4), st.integers(0, 4)),
+        st.tuples(st.integers(-2, 2), st.integers(-2, 2), st.integers(-4, 4)),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_projection_covers_brute_force(self, box, extra):
+        lo1, hi1, lo2, hi2 = box
+        a, b, c = extra
+        cons = [
+            Constraint.ge("i", min(lo1, hi1)),
+            Constraint.le("i", max(lo1, hi1)),
+            Constraint.ge("j", min(lo2, hi2)),
+            Constraint.le("j", max(lo2, hi2)),
+            Constraint.ge(var("i") * a + var("j") * b + c, 0),
+        ]
+        cs = ConvexSet.from_constraints(["i", "j"], cons)
+        points = enumerate_convex(cs)
+        projected = project_onto(cs, ["i"])
+        # every actual i value must be in the projection (soundness); the
+        # projection may be larger (rational relaxation) but never smaller.
+        for (i_val,) in brute_projection(points, [0]):
+            assert projected.contains((i_val,))

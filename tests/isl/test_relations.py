@@ -1,0 +1,180 @@
+"""Tests for repro.isl.relations: finite and symbolic relations."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isl.affine import AffineExpr, var
+from repro.isl.convex import Constraint, ConvexSet
+from repro.isl.relations import ConvexRelation, FiniteRelation, UnionRelation
+from repro.isl.sets import UnionSet
+
+
+def rel(pairs):
+    return FiniteRelation.from_pairs(pairs)
+
+
+class TestFiniteRelationBasics:
+    def test_domain_range(self):
+        r = rel([((1,), (2,)), ((1,), (3,)), ((4,), (5,))])
+        assert r.domain() == {(1,), (4,)}
+        assert r.range() == {(2,), (3,), (5,)}
+        assert r.points() == {(1,), (2,), (3,), (4,), (5,)}
+
+    def test_contains_len_iter(self):
+        r = rel([((1,), (2,))])
+        assert ((1,), (2,)) in r
+        assert len(r) == 1
+        assert list(r) == [((1,), (2,))]
+
+    def test_inverse(self):
+        r = rel([((1, 2), (3, 4))])
+        assert r.inverse().pairs == frozenset({((3, 4), (1, 2))})
+
+    def test_union(self):
+        a = rel([((1,), (2,))])
+        b = rel([((2,), (3,))])
+        assert len(a.union(b)) == 2
+
+    def test_restrict(self):
+        r = rel([((1,), (2,)), ((3,), (4,))])
+        assert len(r.restrict(domain={(1,)})) == 1
+        assert len(r.restrict(rng={(4,)})) == 1
+        assert len(r.restrict(domain={(1,)}, rng={(4,)})) == 0
+
+    def test_successors_predecessors(self):
+        r = rel([((1,), (2,)), ((1,), (3,)), ((2,), (3,))])
+        assert r.successors((1,)) == [(2,), (3,)]
+        assert r.predecessors((3,)) == [(1,), (2,)]
+        assert r.successor_map()[(1,)] == [(2,), (3,)]
+        assert r.predecessor_map()[(3,)] == [(1,), (2,)]
+
+    def test_compose(self):
+        a = rel([((1,), (2,))])
+        b = rel([((2,), (5,)), ((2,), (6,))])
+        assert a.compose(b).pairs == frozenset({((1,), (5,)), ((1,), (6,))})
+
+    def test_transitive_closure(self):
+        r = rel([((1,), (2,)), ((2,), (3,)), ((3,), (4,))])
+        closure = r.transitive_closure()
+        assert ((1,), (4,)) in closure
+        assert ((1,), (3,)) in closure
+        assert len(closure) == 6
+
+    def test_distances(self):
+        r = rel([((1, 1), (3, 3)), ((2, 2), (6, 6))])
+        assert r.distances() == {(2, 2), (4, 4)}
+
+
+class TestOrientation:
+    def test_forward_backward_split(self):
+        r = rel([((1,), (5,)), ((5,), (2,)), ((3,), (3,))])
+        fwd = r.lexicographically_forward()
+        back = r.lexicographically_backward()
+        assert fwd.pairs == frozenset({((1,), (5,))})
+        assert back.pairs == frozenset({((5,), (2,))})
+
+    def test_oriented_forward_drops_self_and_flips(self):
+        r = rel([((5,), (2,)), ((3,), (3,)), ((1,), (4,))])
+        oriented = r.oriented_forward()
+        assert oriented.pairs == frozenset({((2,), (5,)), ((1,), (4,))})
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 5), st.integers(0, 5)), min_size=1, max_size=15
+        )
+    )
+    @settings(max_examples=40)
+    def test_oriented_forward_always_forward(self, raw):
+        r = rel([((a,), (b,)) for a, b in raw])
+        for src, dst in r.oriented_forward().pairs:
+            assert src < dst
+
+
+class TestConvexRelation:
+    def make_fig2_relation(self):
+        # { i -> j : 2i = 21 - j, 1 <= i,j <= 20 }
+        cons = [
+            Constraint.eq(var("i") * 2 + var("j"), 21),
+            Constraint.ge("i", 1),
+            Constraint.le("i", 20),
+            Constraint.ge("j", 1),
+            Constraint.le("j", 20),
+        ]
+        return ConvexRelation.from_constraints(["i"], ["j"], cons)
+
+    def test_contains_pair(self):
+        r = self.make_fig2_relation()
+        assert r.contains_pair((6,), (9,))
+        assert not r.contains_pair((6,), (10,))
+
+    def test_domain_range_projection_cover(self):
+        r = self.make_fig2_relation()
+        dom = r.domain()
+        # every i with an integer partner 21-2i in 1..20 must be in dom
+        for i in range(1, 11):
+            assert dom.contains((i,))
+
+    def test_inverse(self):
+        r = self.make_fig2_relation()
+        assert r.inverse().contains_pair((9,), (6,))
+
+    def test_intersect_domain_range(self):
+        r = self.make_fig2_relation()
+        restricted = r.intersect_domain(ConvexSet.from_box(["i"], [(1, 3)]))
+        assert restricted.contains_pair((3,), (15,))
+        assert not restricted.contains_pair((6,), (9,))
+        restricted2 = r.intersect_range(ConvexSet.from_box(["j"], [(1, 10)]))
+        assert restricted2.contains_pair((6,), (9,))
+        assert not restricted2.contains_pair((3,), (15,))
+
+    def test_is_empty(self):
+        cons = [Constraint.eq(var("i"), var("j")), Constraint.ge("i", 5), Constraint.le("j", 3)]
+        r = ConvexRelation.from_constraints(["i"], ["j"], cons)
+        assert r.is_empty()
+
+
+class TestUnionRelation:
+    def make_union(self):
+        piece1 = ConvexRelation.from_constraints(
+            ["i"], ["j"], [Constraint.eq(var("j"), var("i") + 1), Constraint.ge("i", 1), Constraint.le("i", 4)]
+        )
+        piece2 = ConvexRelation.from_constraints(
+            ["i"], ["j"], [Constraint.eq(var("j"), var("i") + 10), Constraint.ge("i", 1), Constraint.le("i", 2)]
+        )
+        return UnionRelation.from_pieces([piece1, piece2])
+
+    def test_enumerate_pairs(self):
+        fr = self.make_union().enumerate_pairs()
+        assert ((1,), (2,)) in fr
+        assert ((1,), (11,)) in fr
+        assert len(fr) == 6
+
+    def test_domain_range(self):
+        u = self.make_union()
+        dom = u.domain()
+        assert dom.contains((1,)) and dom.contains((4,))
+        ran = u.range()
+        assert ran.contains((2,)) and ran.contains((12,))
+
+    def test_inverse_and_contains(self):
+        u = self.make_union()
+        assert u.contains_pair((1,), (11,))
+        assert u.inverse().contains_pair((11,), (1,))
+
+    def test_empty_relation(self):
+        e = UnionRelation.empty(["i"], ["j"])
+        assert e.is_empty()
+        assert len(e.enumerate_pairs()) == 0
+
+    def test_mixed_spaces_rejected(self):
+        a = ConvexRelation.from_constraints(["i"], ["j"], [])
+        b = ConvexRelation.from_constraints(["x"], ["y"], [])
+        with pytest.raises(ValueError):
+            UnionRelation.from_pieces([a, b])
+
+    def test_intersect_domain(self):
+        u = self.make_union()
+        restricted = u.intersect_domain(UnionSet.from_convex(ConvexSet.from_box(["i"], [(1, 1)])))
+        fr = restricted.enumerate_pairs()
+        assert set(fr.domain()) == {(1,)}

@@ -1,0 +1,36 @@
+"""Tests for repro.runtime.threaded: real thread-pool execution."""
+
+import numpy as np
+import pytest
+
+from repro.core import recurrence_chain_partition
+from repro.runtime.executor import execute_sequential
+from repro.runtime.threaded import execute_schedule_threaded
+from repro.workloads.examples import example2_loop, figure1_loop, figure2_loop
+
+
+class TestThreadedExecution:
+    @pytest.mark.parametrize("n_threads", [1, 2, 4])
+    def test_matches_sequential(self, n_threads):
+        prog = figure1_loop(10, 12)
+        result = recurrence_chain_partition(prog)
+        ref = execute_sequential(prog, {})
+        run = execute_schedule_threaded(prog, result.schedule, {}, n_threads=n_threads)
+        assert np.array_equal(ref["a"], run.store["a"])
+        assert run.n_threads == n_threads
+        assert run.instances_executed == result.schedule.total_work
+        assert run.phases_executed == result.schedule.num_phases
+
+    def test_other_examples(self):
+        for prog in (figure2_loop(20), example2_loop(12)):
+            result = recurrence_chain_partition(prog)
+            ref = execute_sequential(prog, {})
+            run = execute_schedule_threaded(prog, result.schedule, {}, n_threads=3)
+            for name in ref:
+                assert np.array_equal(ref[name], run.store[name]), prog.name
+
+    def test_invalid_thread_count(self):
+        prog = figure2_loop(10)
+        result = recurrence_chain_partition(prog)
+        with pytest.raises(ValueError):
+            execute_schedule_threaded(prog, result.schedule, {}, n_threads=0)

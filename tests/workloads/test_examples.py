@@ -1,0 +1,93 @@
+"""Tests for repro.workloads.examples: the paper's example programs."""
+
+import pytest
+
+from repro.ir.normalize import is_normalized
+from repro.ir.validate import validate_program
+from repro.workloads.examples import (
+    PAPER_EXAMPLES,
+    cholesky_loop,
+    example2_loop,
+    example3_loop,
+    figure1_loop,
+    figure2_loop,
+    paper_example,
+)
+
+
+class TestFactories:
+    def test_registry(self):
+        assert set(PAPER_EXAMPLES) == {"figure1", "figure2", "example2", "example3", "cholesky"}
+        assert paper_example("figure2").name == "figure2"
+        with pytest.raises(KeyError):
+            paper_example("nope")
+
+    def test_figure1_symbolic_vs_concrete(self):
+        assert figure1_loop().parameters == ("N1", "N2")
+        assert figure1_loop(10, 10).parameters == ()
+        assert figure1_loop(10).parameters == ("N2",)
+
+    def test_figure1_structure(self):
+        prog = figure1_loop(10, 10)
+        assert prog.is_perfect_nest()
+        assert prog.index_names() == ("I1", "I2")
+        stmt = prog.statements()[0]
+        assert str(stmt.writes[0]) == "a(3*I1+1, 2*I1+I2-1)"
+        assert str(stmt.reads[0]) == "a(I1+3, I2+1)"
+
+    def test_figure2_structure(self):
+        prog = figure2_loop(20)
+        assert prog.is_perfect_nest()
+        stmt = prog.statements()[0]
+        assert str(stmt.writes[0]) == "a(2*I)"
+        assert str(stmt.reads[0]) == "a(21-I)" or str(stmt.reads[0]) == "a(-I+21)"
+
+    def test_example2_structure(self):
+        prog = example2_loop(12)
+        stmt = prog.statements()[0]
+        assert str(stmt.writes[0]) == "a(2*I+3, J+1)"
+        assert prog.index_names() == ("I", "J")
+
+    def test_example3_is_imperfect(self):
+        prog = example3_loop(10)
+        assert not prog.is_perfect_nest()
+        assert [s.label for s in prog.statements()] == ["s1", "s2"]
+        assert prog.context_of("s1").index_names == ("I", "J", "K")
+        assert prog.context_of("s2").index_names == ("I", "J")
+
+    def test_cholesky_structure(self):
+        prog = cholesky_loop(nmat=2, m=2, n=5, nrhs=1)
+        labels = [s.label for s in prog.statements()]
+        assert set(labels) == {f"s{k}" for k in range(1, 10)}
+        assert is_normalized(prog)
+        assert len(prog.body) == 2  # two top-level nests
+
+    def test_all_examples_validate(self):
+        for name in PAPER_EXAMPLES:
+            if name == "cholesky":
+                prog = paper_example(name, nmat=1, m=2, n=4, nrhs=1)
+            elif name == "figure1":
+                prog = paper_example(name, n1=5, n2=5)
+            elif name == "figure2":
+                prog = paper_example(name)
+            else:
+                prog = paper_example(name, n=6)
+            assert validate_program(prog) == [], name
+
+
+class TestSubscriptsStayInsideArrays:
+    @pytest.mark.parametrize(
+        "prog",
+        [figure1_loop(12, 15), figure2_loop(20), example2_loop(14), example3_loop(14),
+         cholesky_loop(nmat=2, m=2, n=5, nrhs=1)],
+        ids=["fig1", "fig2", "ex2", "ex3", "cholesky"],
+    )
+    def test_every_access_is_in_bounds(self, prog):
+        contexts = {c.statement.label: c for c in prog.statement_contexts()}
+        for label, iteration in prog.sequential_iterations({}):
+            ctx = contexts[label]
+            env = dict(zip(ctx.index_names, iteration))
+            for ref in ctx.statement.writes + ctx.statement.reads:
+                shape = prog.array_shapes[ref.array]
+                idx = ref.evaluate(env)
+                assert all(0 <= v < s for v, s in zip(idx, shape)), (label, iteration, ref.array, idx)

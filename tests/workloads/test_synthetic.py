@@ -1,0 +1,90 @@
+"""Tests for repro.workloads.synthetic and .corpus: generators and ground truth."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dependence import DependenceAnalysis
+from repro.ir.validate import validate_program
+from repro.workloads.corpus import SPECFP95_LIKE, CorpusComposition, build_corpus
+from repro.workloads.synthetic import generate_corpus_programs, random_coupled_loop
+
+
+class TestRandomCoupledLoop:
+    def test_programs_are_well_formed(self):
+        rng = random.Random(7)
+        for _ in range(10):
+            spec = random_coupled_loop(rng, n1=6, n2=6)
+            assert validate_program(spec.program) == []
+
+    def test_forced_uniform_has_equal_matrices(self):
+        rng = random.Random(11)
+        spec = random_coupled_loop(rng, force_uniform=True)
+        assert spec.A == spec.B
+        assert spec.uniform
+
+    def test_forced_nonuniform_has_differing_matrices(self):
+        rng = random.Random(13)
+        spec = random_coupled_loop(rng, force_uniform=False)
+        assert spec.A != spec.B
+        assert not spec.uniform
+
+    def test_force_full_rank(self):
+        rng = random.Random(17)
+        for _ in range(5):
+            spec = random_coupled_loop(rng, force_full_rank=True)
+            assert spec.full_rank
+
+    def test_deterministic_given_seed(self):
+        a = random_coupled_loop(random.Random(5), n1=4, n2=4)
+        b = random_coupled_loop(random.Random(5), n1=4, n2=4)
+        assert a.A == b.A and a.B == b.B and a.a == b.a and a.b == b.b
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=10, deadline=None)
+    def test_accesses_stay_in_bounds(self, seed):
+        spec = random_coupled_loop(random.Random(seed), n1=5, n2=5)
+        prog = spec.program
+        ctx = prog.statement_contexts()[0]
+        shape = prog.array_shapes["x"]
+        for _, iteration in prog.sequential_iterations({}):
+            env = dict(zip(ctx.index_names, iteration))
+            for ref in ctx.statement.writes + ctx.statement.reads:
+                idx = ref.evaluate(env)
+                assert all(0 <= v < s for v, s in zip(idx, shape))
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=8, deadline=None)
+    def test_uniform_label_consistent_with_exact_analysis(self, seed):
+        spec = random_coupled_loop(random.Random(seed), n1=5, n2=5, force_uniform=True)
+        analysis = DependenceAnalysis(spec.program, {})
+        assert analysis.is_uniform()
+
+    def test_generate_corpus_programs(self):
+        specs = generate_corpus_programs(seed=3, count=12, uniform_fraction=0.5)
+        assert len(specs) == 12
+        assert len({s.program.name for s in specs}) == 12
+
+
+class TestCorpus:
+    def test_build_corpus_deterministic(self):
+        a = build_corpus(CorpusComposition("t", 20, 0.5, 0.5), seed=1)
+        b = build_corpus(CorpusComposition("t", 20, 0.5, 0.5), seed=1)
+        assert [s.A for s in a] == [s.A for s in b]
+
+    def test_composition_roughly_respected(self):
+        comp = CorpusComposition("t", 120, 0.5, 0.5)
+        specs = build_corpus(comp, seed=42)
+        coupled_fraction = sum(1 for s in specs if s.coupled) / len(specs)
+        # generation is stochastic; allow a generous tolerance
+        assert 0.3 <= coupled_fraction <= 0.75
+
+    def test_default_composition(self):
+        assert SPECFP95_LIKE.coupled_fraction == 0.45
+        assert SPECFP95_LIKE.expected_nonuniform_fraction == 0.45 * 0.5
+
+    def test_separable_loops_are_uncoupled_and_uniform(self):
+        comp = CorpusComposition("t", 30, 0.0, 0.5)
+        specs = build_corpus(comp, seed=9)
+        assert all(not s.coupled and s.uniform for s in specs)
