@@ -1,0 +1,91 @@
+"""E-scale — scaling sweep of the vectorized partitioning engine.
+
+Not a paper artifact: this benchmark guards the performance contract of the
+array-backed partitioning path.  It sweeps iteration-space sizes from 10³ to
+10⁵ points (10⁶ with ``REPRO_SCALE_XL=1``; the set engine is skipped there —
+it would take minutes) over the hot path of Algorithm 1's concrete branch —
+three-set partition (eq. 5) followed by dataflow wavefront peeling — running
+both the set-based engine and the vectorized engine on the same uniform
+dependence workload (:func:`repro.workloads.synthetic.scale_partition_case`).
+
+Asserted contract: at ≥10⁵ points the vectorized engine is ≥5× faster in
+wall-clock, and both engines produce identical P1/P2/P3/W sets and identical
+wavefronts.
+"""
+
+import os
+import time
+
+from repro.core.dataflow import dataflow_partition
+from repro.core.partition import three_set_partition
+
+from conftest import emit, run_once
+
+#: (n1, n2) sweep: 10³, 10⁴ and 10⁵ iteration points.
+SIZES = [(40, 25), (125, 80), (500, 200)]
+XL_SIZE = (1250, 800)  # 10⁶ points, vector engine only
+
+
+def hot_path(space, rd, engine):
+    """The measured hot path: eq. 5 partition + dataflow peeling."""
+    partition = three_set_partition(space, rd, engine=engine)
+    waves = dataflow_partition(space, rd, engine=engine)
+    return partition, waves
+
+
+def test_scale_partition_speedup(benchmark, report):
+    from repro.workloads.synthetic import scale_partition_case
+
+    rows = []
+    for n1, n2 in SIZES:
+        space, rd = scale_partition_case(n1, n2)
+        t0 = time.perf_counter()
+        set_partition, set_waves = hot_path(space, rd, "set")
+        t_set = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        vec_partition, vec_waves = hot_path(space, rd, "vector")
+        t_vector = time.perf_counter() - t0
+        # The two engines must agree exactly before their timings mean anything.
+        assert vec_partition.p1 == set_partition.p1
+        assert vec_partition.p2 == set_partition.p2
+        assert vec_partition.p3 == set_partition.p3
+        assert vec_partition.w == set_partition.w
+        assert vec_waves.wavefronts == set_waves.wavefronts
+        rows.append(
+            {
+                "points": n1 * n2,
+                "pairs": len(rd),
+                "wavefronts": vec_waves.num_steps,
+                "t_set_s": round(t_set, 4),
+                "t_vector_s": round(t_vector, 4),
+                "speedup": round(t_set / t_vector, 2),
+            }
+        )
+    if os.environ.get("REPRO_SCALE_XL"):
+        n1, n2 = XL_SIZE
+        space, rd = scale_partition_case(n1, n2)
+        t0 = time.perf_counter()
+        _, waves = hot_path(space, rd, "vector")
+        t_vector = time.perf_counter() - t0
+        rows.append(
+            {
+                "points": n1 * n2,
+                "pairs": len(rd),
+                "wavefronts": waves.num_steps,
+                "t_set_s": None,
+                "t_vector_s": round(t_vector, 4),
+                "speedup": None,
+            }
+        )
+    report("Scaling sweep: three-set partition + dataflow peeling", rows)
+
+    big = rows[len(SIZES) - 1]
+    assert big["points"] >= 10**5
+    assert big["speedup"] >= 5.0, (
+        f"vectorized engine only {big['speedup']}x faster at {big['points']} points"
+    )
+
+    # Record the vectorized hot path at the largest swept size under
+    # pytest-benchmark as well.
+    space, rd = scale_partition_case(*SIZES[-1])
+    run_once(benchmark, hot_path, space, rd, "vector")

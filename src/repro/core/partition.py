@@ -23,14 +23,32 @@ Both a concrete (enumerated points) and a symbolic (union-of-convex-sets)
 variant are provided; the symbolic variant feeds the DOALL code generator and
 may be a rational approximation (see :class:`SymbolicThreeSetPartition`), the
 concrete variant is exact and feeds the executors and validators.
+
+The concrete partitioner has two engines producing identical results: the
+original set-based one (per-point Python set algebra) and a vectorised one
+that encodes points as int64 lexicographic keys and computes every membership
+test with sorted-array numpy operations (see
+:mod:`repro.isl.relations`).  ``engine="auto"`` (the default) picks the
+vectorised engine when the space or the relation reaches
+:data:`~repro.isl.relations.BULK_SIZE_THRESHOLD`, which keeps 10⁵–10⁶-point
+spaces tractable; ``engine="set"``/``engine="vector"`` force a specific one.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from functools import cached_property
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
-from ..isl.relations import FiniteRelation, UnionRelation
+import numpy as np
+
+from ..isl.relations import (
+    FiniteRelation,
+    PointCodec,
+    UnionRelation,
+    in_sorted,
+    resolve_bulk_engine,
+)
 from ..isl.sets import UnionSet
 from ..isl.convex import ConvexSet
 
@@ -52,17 +70,24 @@ class ThreeSetPartition:
 
     # -- classification views ----------------------------------------------------
 
-    @property
+    @cached_property
+    def _touched(self) -> FrozenSet[Point]:
+        """dom ∪ ran of the relation, computed once per partition.
+
+        ``independent``/``initial`` both need it and used to rebuild it on
+        every property access — an O(|Rd|) frozenset construction per call.
+        """
+        return self.rd.points()
+
+    @cached_property
     def independent(self) -> FrozenSet[Point]:
         """Iterations not touched by any dependence."""
-        touched = self.rd.points()
-        return frozenset(p for p in self.p1 if p not in touched)
+        return frozenset(p for p in self.p1 if p not in self._touched)
 
-    @property
+    @cached_property
     def initial(self) -> FrozenSet[Point]:
         """Dependent iterations with no predecessor."""
-        touched = self.rd.points()
-        return frozenset(p for p in self.p1 if p in touched)
+        return frozenset(p for p in self.p1 if p in self._touched)
 
     @property
     def intermediate(self) -> FrozenSet[Point]:
@@ -114,16 +139,69 @@ class ThreeSetPartition:
         }
 
 
+def _frozen_rows(arr: np.ndarray) -> FrozenSet[Point]:
+    """An ``(n, dim)`` int array as a frozenset of point tuples."""
+    return frozenset(map(tuple, arr.tolist()))
+
+
+def _three_set_partition_vector(
+    space_arr: np.ndarray, rd: FiniteRelation, codec: PointCodec
+) -> ThreeSetPartition:
+    """The bulk engine: eq. 5 with sorted-key membership instead of set algebra."""
+    src, dst = rd.as_arrays()
+    phi_keys = codec.encode(space_arr)
+    phi_sorted = np.unique(phi_keys)
+    src_keys = codec.encode(src)
+    dst_keys = codec.encode(dst)
+    keep = in_sorted(src_keys, phi_sorted) & in_sorted(dst_keys, phi_sorted)
+    if keep.all():
+        relation = rd  # nothing dropped: avoid rebuilding the pair set
+    else:
+        src, dst = src[keep], dst[keep]
+        src_keys, dst_keys = src_keys[keep], dst_keys[keep]
+        relation = FiniteRelation.from_arrays(src, dst)
+    dom_sorted = np.unique(src_keys)
+    ran_sorted = np.unique(dst_keys)
+    in_ran = in_sorted(phi_keys, ran_sorted)
+    in_dom = in_sorted(phi_keys, dom_sorted)
+    p1_mask = ~in_ran
+    p2_mask = in_ran & in_dom
+    # W: targets of an edge whose source has no predecessor (is in P1).  Edge
+    # targets are in ran by construction, so "dst ∈ P2" reduces to "dst ∈ dom".
+    w_edges = in_sorted(src_keys, np.unique(phi_keys[p1_mask])) & in_sorted(
+        dst_keys, dom_sorted
+    )
+    return ThreeSetPartition(
+        space=_frozen_rows(space_arr),
+        rd=relation,
+        p1=_frozen_rows(space_arr[p1_mask]),
+        p2=_frozen_rows(space_arr[p2_mask]),
+        p3=_frozen_rows(space_arr[in_ran & ~in_dom]),
+        w=_frozen_rows(codec.decode(np.unique(dst_keys[w_edges]))),
+    )
+
+
 def three_set_partition(
-    space: Iterable[Point], rd: FiniteRelation
+    space: Union[np.ndarray, Iterable[Point]],
+    rd: FiniteRelation,
+    engine: str = "auto",
 ) -> ThreeSetPartition:
     """Compute eq. 5 from the enumerated iteration space and the exact Rd.
 
     ``rd`` must already be oriented forward (earlier ≺ later); iterations of
     ``rd`` that are outside ``space`` are ignored (they cannot occur when the
-    relation was computed from the same bounds).
+    relation was computed from the same bounds).  ``space`` may be an iterable
+    of point tuples or an ``(n, dim)`` int array (the natural input of the
+    vectorised engine).  ``engine`` is ``"auto"`` (vectorise at
+    :data:`~repro.isl.relations.BULK_SIZE_THRESHOLD`), ``"set"`` or
+    ``"vector"``; both engines produce identical partitions.
     """
-    phi = frozenset(tuple(p) for p in space)
+    space_arr, points, codec = resolve_bulk_engine(space, rd, engine)
+    if codec is not None:
+        return _three_set_partition_vector(space_arr, rd, codec)
+    if points is None:
+        points = map(tuple, space_arr.tolist())
+    phi = frozenset(points)
     relation = rd.restrict(domain=set(phi), rng=set(phi))
     dom = relation.domain()
     ran = relation.range()

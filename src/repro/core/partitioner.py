@@ -16,6 +16,12 @@ concrete parameter values and produces a :class:`~repro.core.schedule.Schedule`:
 3. Otherwise, if the loop bounds are compile-time constants, run the
    **iterative dataflow partitioning**: peel P1 = Φ \\ ran Rd until Φ is empty,
    one DOALL phase per step.
+
+Both branches hand the concrete sets to partitioners with a dual set/array
+engine; spaces or relations at or beyond
+:data:`~repro.isl.relations.BULK_SIZE_THRESHOLD` points/pairs are processed on
+the vectorised int64-key path (identical results, see
+:mod:`repro.core.partition` and :mod:`repro.core.dataflow`).
 4. Otherwise Algorithm 1 does not apply and the caller should fall back to the
    PDM scheme (``repro.baselines.pdm``); this function raises
    :class:`PartitioningNotApplicable` so the fallback is an explicit decision.
@@ -147,7 +153,9 @@ def recurrence_chain_partition(
 
     if use_chains:
         label = single_pair.source_ctx.statement.label
-        space_points = analysis.iteration_space_points
+        # The array form feeds the vectorised engine directly for large
+        # spaces (three_set_partition switches engines on its own threshold).
+        space_points = analysis.iteration_space_array
         rd = analysis.iteration_dependences
         partition = three_set_partition(space_points, rd)
         recurrence = AffineRecurrence.from_pair(single_pair)

@@ -15,6 +15,14 @@ consume:
 
 Results are cached; the analysis object is intended to be created once per
 (program, parameter binding) and passed around.
+
+For large concrete spaces the analysis feeds the vectorised partitioning
+engine: :attr:`DependenceAnalysis.iteration_space_array` exposes the
+enumerated space as an ``(n, depth)`` int64 array (no per-point tuple
+boxing), and the orientation of the combined relation switches to the bulk
+array path once it reaches
+:data:`~repro.isl.relations.BULK_SIZE_THRESHOLD` pairs (see
+:meth:`~repro.isl.relations.FiniteRelation.oriented_forward`).
 """
 
 from __future__ import annotations
@@ -22,6 +30,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from functools import cached_property
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..ir.program import LoopProgram, StatementContext
 from ..isl.relations import FiniteRelation, UnionRelation
@@ -128,13 +138,27 @@ class DependenceAnalysis:
         return combined.oriented_forward()
 
     @cached_property
-    def iteration_space_points(self) -> List[Tuple[int, ...]]:
-        """All iteration points of the (perfect) nest, in lexicographic order."""
+    def iteration_space_array(self) -> np.ndarray:
+        """All iteration points of the (perfect) nest as an ``(n, depth)`` array.
+
+        Lexicographic row order.  This is the natural input of the vectorised
+        partitioning engine — :func:`repro.core.partition.three_set_partition`
+        and :func:`repro.core.dataflow.dataflow_partition` accept it directly,
+        skipping the per-point tuple materialisation of
+        :attr:`iteration_space_points`.
+        """
         contexts = self.program.statement_contexts()
         if not contexts:
-            return []
-        points = enumerate_domain(contexts[0], self.params, self.program.parameters)
-        return [tuple(p) for p in points.tolist()]
+            return np.zeros((0, 0), dtype=np.int64)
+        return np.asarray(
+            enumerate_domain(contexts[0], self.params, self.program.parameters),
+            dtype=np.int64,
+        )
+
+    @cached_property
+    def iteration_space_points(self) -> List[Tuple[int, ...]]:
+        """All iteration points of the (perfect) nest, in lexicographic order."""
+        return [tuple(p) for p in self.iteration_space_array.tolist()]
 
     # -- symbolic view ------------------------------------------------------------
 

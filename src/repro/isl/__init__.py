@@ -18,7 +18,12 @@ manipulate exact dependence relations.  It provides:
 
 from .affine import AffineExpr, const, var
 from .convex import EQ, GE, Constraint, ConvexSet
-from .enumerate_points import enumerate_convex, filter_box_numpy, iteration_points
+from .enumerate_points import (
+    EnumerationTruncated,
+    enumerate_convex,
+    filter_box_numpy,
+    iteration_points,
+)
 from .fourier_motzkin import (
     eliminate_variable,
     eliminate_variables,
@@ -45,7 +50,15 @@ from .linalg import (
     smith_normal_form,
     solve_diophantine,
 )
-from .relations import ConvexRelation, FiniteRelation, UnionRelation
+from .relations import (
+    BULK_SIZE_THRESHOLD,
+    ConvexRelation,
+    FiniteRelation,
+    PointCodec,
+    SuccessorIndex,
+    UnionRelation,
+    in_sorted,
+)
 from .sets import UnionSet
 
 __all__ = [
@@ -60,6 +73,11 @@ __all__ = [
     "ConvexRelation",
     "UnionRelation",
     "FiniteRelation",
+    "PointCodec",
+    "SuccessorIndex",
+    "in_sorted",
+    "BULK_SIZE_THRESHOLD",
+    "EnumerationTruncated",
     "RationalMatrix",
     "DiophantineSolution",
     "extended_gcd",

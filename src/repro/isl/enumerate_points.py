@@ -25,19 +25,43 @@ import numpy as np
 
 from .convex import Constraint, ConvexSet, EQ
 
-__all__ = ["enumerate_convex", "filter_box_numpy", "iteration_points"]
+__all__ = [
+    "EnumerationTruncated",
+    "enumerate_convex",
+    "filter_box_numpy",
+    "iteration_points",
+]
+
+
+class EnumerationTruncated(RuntimeError):
+    """``max_points`` cut off an incomplete enumeration.
+
+    Carries the truncated prefix in :attr:`points` so callers that can live
+    with a partial result still get it.  Raised instead of silently returning
+    a truncated list, so a capped enumeration can never be mistaken for a
+    complete one; pass ``allow_truncated=True`` to opt into the old behaviour.
+    """
+
+    def __init__(self, message: str, points: List[Tuple[int, ...]]):
+        super().__init__(message)
+        self.points = points
 
 
 def enumerate_convex(
     cs: ConvexSet,
     params: Mapping[str, int] | None = None,
     max_points: Optional[int] = None,
+    allow_truncated: bool = False,
 ) -> List[Tuple[int, ...]]:
     """Enumerate all integer points of a bounded convex set.
 
     Raises :class:`ValueError` when some variable is unbounded (after binding
     the supplied parameter values) — iteration spaces must be finite to be
-    enumerated.  ``max_points`` optionally caps the result as a safety net.
+    enumerated.  ``max_points`` optionally caps the result as a safety net;
+    when the cap actually cuts points off, :class:`EnumerationTruncated` is
+    raised (with the truncated prefix attached) unless ``allow_truncated=True``,
+    in which case the truncated list is returned.  An enumeration that finishes
+    exactly at the cap is complete and never raises.
     """
     work = cs if params is None else cs.bind_parameters(params)
     work = work.simplified()
@@ -48,7 +72,18 @@ def enumerate_convex(
     if work.is_obviously_empty():
         return []
     points: List[Tuple[int, ...]] = []
-    _enumerate_rec(work, (), points, max_points)
+    # Probe one point past the cap so a complete enumeration that exactly fills
+    # the cap is distinguishable from a truncated one.
+    probe = None if max_points is None else max_points + 1
+    _enumerate_rec(work, (), points, probe)
+    if max_points is not None and len(points) > max_points:
+        del points[max_points:]
+        if not allow_truncated:
+            raise EnumerationTruncated(
+                f"enumeration stopped at max_points={max_points} but the set has "
+                f"more integer points; pass allow_truncated=True for the prefix",
+                points,
+            )
     return points
 
 

@@ -13,22 +13,203 @@ provided, mirroring the two ways the package reasons about dependences:
   exact dependence analyser for concrete loop bounds and used by the
   executors, the validators and the chain extractor.  All partition-safety
   invariants are ultimately checked against this exact object.
+
+Besides the pure-Python set representation, :class:`FiniteRelation` exposes an
+**array-backed bulk path** for large relations: :meth:`FiniteRelation.as_arrays`
+materialises the pairs as ``(n, dim)`` int64 numpy arrays, and
+:class:`PointCodec` maps each integer point to a scalar int64 key by
+lexicographic (mixed-radix) row encoding, so that ``dom``/``ran``/``restrict``
+and membership become sorted-array operations (``np.unique``,
+``np.searchsorted``) instead of per-point Python set algebra.
+:class:`SuccessorIndex` provides successor lookup by binary search on the same
+keys.  The vectorised partitioners in :mod:`repro.core` switch to this path
+when the iteration space or the relation exceeds
+:data:`BULK_SIZE_THRESHOLD` points/pairs; both paths are exact and produce
+identical results (the equivalence is covered by tests).
 """
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+import numpy as np
 
 from .convex import Constraint, ConvexSet
 from .fourier_motzkin import project_onto
 from .lexorder import lex_lt
 from .sets import UnionSet
 
-__all__ = ["ConvexRelation", "UnionRelation", "FiniteRelation"]
+__all__ = [
+    "ConvexRelation",
+    "UnionRelation",
+    "FiniteRelation",
+    "PointCodec",
+    "SuccessorIndex",
+    "in_sorted",
+    "resolve_bulk_engine",
+    "BULK_SIZE_THRESHOLD",
+]
 
 Point = Tuple[int, ...]
 Pair = Tuple[Point, Point]
+
+#: Spaces/relations at or above this many points/pairs take the array-backed
+#: bulk path; below it the plain set algebra is faster (no numpy conversion).
+BULK_SIZE_THRESHOLD = 4096
+
+
+# ---------------------------------------------------------------------------
+# lexicographic row encoding
+# ---------------------------------------------------------------------------
+
+
+def in_sorted(keys: np.ndarray, sorted_keys: np.ndarray) -> np.ndarray:
+    """Boolean membership of ``keys`` in an ascending-sorted key array.
+
+    ``sorted_keys`` must be sorted (duplicates allowed); returns a boolean mask
+    parallel to ``keys``.  This is the searchsorted-based membership primitive
+    of the bulk path (O(n log m) instead of per-element hashing).
+    """
+    keys = np.asarray(keys, dtype=np.int64)
+    sorted_keys = np.asarray(sorted_keys, dtype=np.int64)
+    if sorted_keys.size == 0:
+        return np.zeros(keys.shape, dtype=bool)
+    pos = np.searchsorted(sorted_keys, keys).clip(max=sorted_keys.size - 1)
+    return sorted_keys[pos] == keys
+
+
+@dataclass(frozen=True)
+class PointCodec:
+    """Lexicographic row encoding of integer points into scalar int64 keys.
+
+    The codec covers a fixed bounding box; each point inside the box maps to
+    ``sum((x_d - lo_d) * stride_d)`` with mixed-radix strides, so **key order
+    equals lexicographic point order** and distinct in-box points get distinct
+    keys.  Points outside the box alias arbitrarily — callers must only encode
+    points inside the box the codec was built for (build it with
+    :meth:`for_arrays` over every array involved).
+    """
+
+    lo: np.ndarray
+    extents: np.ndarray
+    strides: np.ndarray
+
+    @staticmethod
+    def for_arrays(*arrays: Optional[np.ndarray]) -> "PointCodec":
+        """A codec whose box covers every row of every given ``(n, dim)`` array.
+
+        Raises :class:`ValueError` when no non-empty array is given, when the
+        dimensions disagree, or when the box has more than 2**63 cells (the
+        keys would overflow int64).
+        """
+        stacked = [
+            np.asarray(a, dtype=np.int64)
+            for a in arrays
+            if a is not None and len(a)
+        ]
+        if not stacked:
+            raise ValueError("cannot build a PointCodec from empty arrays")
+        dim = stacked[0].shape[1]
+        for a in stacked:
+            if a.ndim != 2 or a.shape[1] != dim:
+                raise ValueError("all arrays must be (n, dim) with a common dim")
+        if dim == 0:
+            zero = np.zeros(0, dtype=np.int64)
+            return PointCodec(zero, zero.copy(), zero.copy())
+        lo = np.min([a.min(axis=0) for a in stacked], axis=0)
+        hi = np.max([a.max(axis=0) for a in stacked], axis=0)
+        extents = (hi - lo + 1).astype(np.int64)
+        cells = 1
+        for e in extents.tolist():  # python ints: no silent overflow
+            cells *= int(e)
+        if cells >= 2**63:
+            raise ValueError(
+                f"point box of {cells} cells is too large for int64 lexicographic keys"
+            )
+        strides = np.ones(dim, dtype=np.int64)
+        for d in range(dim - 2, -1, -1):
+            strides[d] = strides[d + 1] * extents[d + 1]
+        return PointCodec(lo, extents, strides)
+
+    @property
+    def dim(self) -> int:
+        return len(self.lo)
+
+    def contains(self, points: np.ndarray) -> np.ndarray:
+        """Boolean mask of rows that lie inside the codec's box."""
+        pts = np.asarray(points, dtype=np.int64)
+        if self.dim == 0:
+            return np.ones(len(pts), dtype=bool)
+        return ((pts >= self.lo) & (pts < self.lo + self.extents)).all(axis=1)
+
+    def encode(self, points: np.ndarray) -> np.ndarray:
+        """Scalar int64 key of every row of an ``(n, dim)`` array."""
+        pts = np.asarray(points, dtype=np.int64)
+        if pts.ndim != 2 or pts.shape[1] != self.dim:
+            raise ValueError(f"points must be (n, {self.dim}) for this codec")
+        if self.dim == 0:
+            return np.zeros(len(pts), dtype=np.int64)
+        return (pts - self.lo) @ self.strides
+
+    def decode(self, keys: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`encode`: the ``(n, dim)`` points of in-box keys."""
+        keys = np.asarray(keys, dtype=np.int64)
+        out = np.empty((len(keys), self.dim), dtype=np.int64)
+        rem = keys
+        for d in range(self.dim):
+            digit = rem // self.strides[d]
+            rem = rem - digit * self.strides[d]
+            out[:, d] = digit + self.lo[d]
+        return out
+
+
+def resolve_bulk_engine(
+    space, rd: "FiniteRelation", engine: str
+) -> Tuple[Optional[np.ndarray], Optional[List[Point]], Optional[PointCodec]]:
+    """Shared engine dispatch of the dual set/vector partitioners.
+
+    Normalises ``space`` (an ``(n, dim)`` int array or an iterable of point
+    tuples) and decides whether the vector engine runs:
+
+    * returns ``(space_arr, points, codec)``; a non-``None`` ``codec`` means
+      "run the vector engine on ``space_arr``",
+    * ``codec is None`` means "run the set engine" — on ``points`` when the
+      input was an iterable, else on ``space_arr``'s rows,
+    * ``engine="auto"`` picks the vector engine at
+      :data:`BULK_SIZE_THRESHOLD` points/pairs but falls back to the set
+      engine when the point box overflows int64 keys; ``engine="vector"``
+      re-raises that overflow instead of silently degrading.
+    """
+    if engine not in ("auto", "set", "vector"):
+        raise ValueError(f"unknown engine {engine!r}; use 'auto', 'set' or 'vector'")
+    if isinstance(space, np.ndarray):
+        space_arr: Optional[np.ndarray] = np.asarray(space, dtype=np.int64)
+        if space_arr.ndim != 2:
+            raise ValueError("an array iteration space must be (n, dim)")
+        points: Optional[List[Point]] = None
+        n = len(space_arr)
+    else:
+        points = [tuple(p) for p in space]
+        space_arr = None
+        n = len(points)
+    want_vector = engine == "vector" or (
+        engine == "auto" and max(n, len(rd)) >= BULK_SIZE_THRESHOLD
+    )
+    codec = None
+    if want_vector and n and rd.dim_in == rd.dim_out:
+        if space_arr is None:
+            space_arr = np.array(sorted(set(points)), dtype=np.int64).reshape(
+                -1, len(points[0])
+            )
+        try:
+            codec = PointCodec.for_arrays(space_arr, *rd.as_arrays())
+        except ValueError:
+            if engine == "vector":
+                raise
+            codec = None  # auto: box too large for int64 keys → set engine
+    return space_arr, points, codec
 
 
 # ---------------------------------------------------------------------------
@@ -209,6 +390,81 @@ class FiniteRelation:
             break
         return FiniteRelation(pair_set, dim_in, dim_out)
 
+    @staticmethod
+    def from_arrays(src: np.ndarray, dst: np.ndarray) -> "FiniteRelation":
+        """Build a relation from parallel ``(n, dim_in)``/``(n, dim_out)`` arrays."""
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        if src.ndim != 2 or dst.ndim != 2 or len(src) != len(dst):
+            raise ValueError("src and dst must be 2-D arrays with equal length")
+        pairs = frozenset(
+            (tuple(a), tuple(b)) for a, b in zip(src.tolist(), dst.tolist())
+        )
+        return FiniteRelation(pairs, src.shape[1], dst.shape[1])
+
+    # -- array-backed bulk path ----------------------------------------------
+
+    def as_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The pairs as ``(src, dst)`` int64 arrays, sorted by (src, dst).
+
+        The arrays are computed once and cached on the instance (the relation
+        is immutable); they are the entry point of the vectorised bulk path.
+        """
+        cached = self.__dict__.get("_as_arrays")
+        if cached is None:
+            pairs = sorted(self.pairs)
+            src = np.array([a for a, _ in pairs], dtype=np.int64).reshape(
+                len(pairs), self.dim_in
+            )
+            dst = np.array([b for _, b in pairs], dtype=np.int64).reshape(
+                len(pairs), self.dim_out
+            )
+            cached = (src, dst)
+            # frozen dataclass: write the cache directly into __dict__
+            self.__dict__["_as_arrays"] = cached
+        return cached
+
+    def codec(self, *extra: Optional[np.ndarray]) -> PointCodec:
+        """A :class:`PointCodec` covering dom ∪ ran plus any extra point arrays.
+
+        Requires ``dim_in == dim_out`` (dependence relations always satisfy
+        this); raises :class:`ValueError` for empty inputs or oversized boxes.
+        """
+        if self.dim_in != self.dim_out:
+            raise ValueError("codec requires a homogeneous relation (dim_in == dim_out)")
+        src, dst = self.as_arrays()
+        return PointCodec.for_arrays(src, dst, *extra)
+
+    def bulk_dom(self, codec: PointCodec) -> np.ndarray:
+        """Sorted unique keys of the domain (bulk analogue of :meth:`domain`)."""
+        return np.unique(codec.encode(self.as_arrays()[0]))
+
+    def bulk_ran(self, codec: PointCodec) -> np.ndarray:
+        """Sorted unique keys of the range (bulk analogue of :meth:`range`)."""
+        return np.unique(codec.encode(self.as_arrays()[1]))
+
+    def bulk_restrict(
+        self,
+        codec: PointCodec,
+        domain_keys: Optional[np.ndarray] = None,
+        rng_keys: Optional[np.ndarray] = None,
+    ) -> "FiniteRelation":
+        """Bulk analogue of :meth:`restrict` over sorted key arrays.
+
+        ``domain_keys``/``rng_keys`` are ascending-sorted key arrays produced
+        with the same ``codec`` (e.g. by :meth:`bulk_dom` or
+        ``np.unique(codec.encode(points))``).
+        """
+        src, dst = self.as_arrays()
+        mask = np.ones(len(src), dtype=bool)
+        if domain_keys is not None:
+            mask &= in_sorted(codec.encode(src), domain_keys)
+        if rng_keys is not None:
+            mask &= in_sorted(codec.encode(dst), rng_keys)
+        if mask.all():
+            return self
+        return FiniteRelation.from_arrays(src[mask], dst[mask])
+
     # -- basic queries --------------------------------------------------------
 
     def __len__(self) -> int:
@@ -324,8 +580,25 @@ class FiniteRelation:
         """Re-orient every pair so the source lexicographically precedes the target.
 
         Self-pairs (``a == b``) are dropped: a dependence of an iteration on
-        itself does not constrain the parallel schedule.
+        itself does not constrain the parallel schedule.  Relations with at
+        least :data:`BULK_SIZE_THRESHOLD` pairs are re-oriented on the array
+        path: key order equals lexicographic order, so the comparison and the
+        swap are a handful of vectorised operations.
         """
+        if len(self.pairs) >= BULK_SIZE_THRESHOLD and self.dim_in == self.dim_out:
+            src, dst = self.as_arrays()
+            try:
+                codec = PointCodec.for_arrays(src, dst)
+            except ValueError:
+                codec = None  # box overflows int64 keys: scalar path below
+            if codec is not None:
+                src_keys = codec.encode(src)
+                dst_keys = codec.encode(dst)
+                keep = src_keys != dst_keys
+                swap = src_keys > dst_keys
+                fwd_src = np.where(swap[:, None], dst, src)[keep]
+                fwd_dst = np.where(swap[:, None], src, dst)[keep]
+                return FiniteRelation.from_arrays(fwd_src, fwd_dst)
         pairs = set()
         for a, b in self.pairs:
             if a == b:
@@ -340,3 +613,53 @@ class FiniteRelation:
     def __str__(self) -> str:
         items = ", ".join(f"{a}->{b}" for a, b in sorted(self.pairs))
         return f"{{ {items} }}"
+
+
+class SuccessorIndex:
+    """Successor lookup by binary search on sorted lexicographic keys.
+
+    Replaces dict-of-point probing (:meth:`FiniteRelation.successor_map`) for
+    large relations: construction is a vectorised argsort over the encoded
+    edges (no per-pair tuple hashing), while the lookup state is converted to
+    plain Python lists once so each probe costs a few integer operations and a
+    ``bisect`` — sequential chain walks must not pay numpy per-call overhead.
+    Successor lists come back lexicographically sorted, exactly like the
+    dict-based maps.
+    """
+
+    def __init__(self, src: np.ndarray, dst: np.ndarray, codec: PointCodec):
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        src_keys = codec.encode(src)
+        dst_keys = codec.encode(dst)
+        order = np.lexsort((dst_keys, src_keys))
+        self._keys: List[int] = src_keys[order].tolist()
+        self._dsts: List[Point] = [tuple(r) for r in dst[order].tolist()]
+        self._lo: List[int] = codec.lo.tolist()
+        self._extents: List[int] = codec.extents.tolist()
+        self._strides: List[int] = codec.strides.tolist()
+
+    @staticmethod
+    def from_relation(
+        relation: "FiniteRelation", codec: Optional[PointCodec] = None
+    ) -> "SuccessorIndex":
+        src, dst = relation.as_arrays()
+        if codec is None:
+            codec = relation.codec()
+        return SuccessorIndex(src, dst, codec)
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def successors(self, point: Sequence[int]) -> List[Point]:
+        """Sorted successors of one point (empty for points with no out-edges)."""
+        key = 0
+        for x, lo, extent, stride in zip(point, self._lo, self._extents, self._strides):
+            digit = x - lo
+            if digit < 0 or digit >= extent:
+                # Outside the codec's box ⇒ cannot be a source of the relation.
+                return []
+            key += digit * stride
+        start = bisect.bisect_left(self._keys, key)
+        stop = bisect.bisect_right(self._keys, key, start)
+        return self._dsts[start:stop]

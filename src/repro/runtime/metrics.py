@@ -23,13 +23,17 @@ __all__ = [
 
 
 def schedule_parallelism(schedule: Schedule) -> Dict[str, float]:
-    """Work, span, average parallelism and phase count of a schedule."""
+    """Work, span, average parallelism and phase count of a schedule.
+
+    An empty schedule (no phases, zero span) reports an average parallelism
+    of 0.0 — not NaN, which would poison downstream aggregation.
+    """
     work = schedule.total_work
     span = schedule.span
     return {
         "work": float(work),
         "span": float(span),
-        "average_parallelism": (work / span) if span else float("nan"),
+        "average_parallelism": (work / span) if span else 0.0,
         "phases": float(schedule.num_phases),
         "max_width": float(schedule.max_parallelism),
     }
@@ -43,8 +47,12 @@ class SpeedupTable:
     series: Mapping[str, Mapping[int, float]]
 
     def winner(self, p: int) -> str:
-        """The scheme with the highest speedup at ``p`` processors."""
-        return max(self.series, key=lambda name: self.series[name][p])
+        """The scheme with the highest speedup at ``p`` processors.
+
+        A scheme whose series has no entry for ``p`` counts as 0.0 speedup
+        (it simply cannot win there) instead of raising ``KeyError``.
+        """
+        return max(self.series, key=lambda name: self.series[name].get(p, 0.0))
 
     def row(self, name: str) -> List[float]:
         return [self.series[name][p] for p in self.processors]

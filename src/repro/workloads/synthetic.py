@@ -13,6 +13,13 @@ with small random integer matrices A, B and offsets a, b.  The matrices are
 kept within a configurable magnitude so that subscripts stay inside a modest
 array and the exact analyser stays fast, and the generator reports the ground
 truth classification (uniform iff A == B) so classifier tests have labels.
+
+Besides the random generator, the module provides the **large-N scaling
+entries** used by ``benchmarks/bench_scale_partition.py``:
+:func:`large_uniform_loop` (a single-uniform-pair program with arbitrarily
+large bounds) and :func:`scale_partition_case` (its iteration space and exact
+dependence relation built directly as numpy arrays, sidestepping the exact
+analyser so 10⁵–10⁶-point spaces are cheap to set up).
 """
 
 from __future__ import annotations
@@ -21,12 +28,22 @@ import random
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..ir.builder import aref, assign, loop, program
 from ..ir.nodes import ArrayRef
 from ..ir.program import LoopProgram
 from ..isl.affine import AffineExpr
+from ..isl.enumerate_points import iteration_points
+from ..isl.relations import FiniteRelation
 
-__all__ = ["SyntheticLoopSpec", "random_coupled_loop", "generate_corpus_programs"]
+__all__ = [
+    "SyntheticLoopSpec",
+    "random_coupled_loop",
+    "generate_corpus_programs",
+    "large_uniform_loop",
+    "scale_partition_case",
+]
 
 
 @dataclass(frozen=True)
@@ -134,6 +151,55 @@ def random_coupled_loop(
         full_rank=(_det2(A) != 0 and _det2(B) != 0),
         bounds=(n1, n2),
     )
+
+
+def large_uniform_loop(n1: int, n2: int, name: str = "large-uniform") -> LoopProgram:
+    """A 2-D nest with one uniform coupled pair, usable at very large bounds.
+
+        DO I1 = 1, n1
+          DO I2 = 1, n2
+            x(I1+1, I2+1) = x(I1, I2)
+
+    The single flow dependence is ``(i1, i2) -> (i1+1, i2+1)``, so the exact
+    relation is known in closed form (see :func:`scale_partition_case`) and the
+    program scales to the 10⁵–10⁶-iteration spaces the vectorised partitioning
+    engine targets without paying the exact analyser's pair enumeration.
+    """
+    body = assign("s", aref("x", "I1+1", "I2+1"), [aref("x", "I1", "I2")])
+    return program(
+        name,
+        loop("I1", 1, n1, loop("I2", 1, n2, body)),
+        array_shapes={"x": (n1 + 2, n2 + 2)},
+    )
+
+
+def scale_partition_case(
+    n1: int, n2: int, distance: Tuple[int, int] = (1, 1)
+) -> Tuple[np.ndarray, FiniteRelation]:
+    """The large-N scaling workload of the partitioning benchmarks.
+
+    Returns the ``(n1·n2, 2)`` iteration-space array of the ``1..n1 × 1..n2``
+    box together with the exact, forward-oriented uniform dependence relation
+    ``{ i -> i + distance }`` (pairs whose target leaves the box are dropped).
+    Everything is built vectorised, so 10⁶-point cases materialise in
+    milliseconds; the relation matches what
+    :class:`~repro.dependence.analysis.DependenceAnalysis` derives for
+    :func:`large_uniform_loop` when ``distance == (1, 1)`` (cross-checked by a
+    test).
+    """
+    d = np.asarray(distance, dtype=np.int64)
+    if not (d[0] > 0 or (d[0] == 0 and d[1] > 0)):
+        raise ValueError(
+            f"distance {tuple(distance)} must be lexicographically positive "
+            f"(the relation must be oriented forward)"
+        )
+    space = iteration_points([(1, n1), (1, n2)])
+    shifted = space + d
+    inside = (
+        (shifted >= np.array([1, 1], dtype=np.int64))
+        & (shifted <= np.array([n1, n2], dtype=np.int64))
+    ).all(axis=1)
+    return space, FiniteRelation.from_arrays(space[inside], shifted[inside])
 
 
 def generate_corpus_programs(

@@ -1,0 +1,148 @@
+"""Equivalence of the vectorized partitioning engine with the set-based one.
+
+The array-backed engine (lexicographic int64 keys, sorted-array membership,
+Kahn peeling) must produce bit-identical partitions and wavefronts on every
+example workload of the paper — perfect nests at iteration level and
+imperfect nests at statement level — plus the synthetic scaling case.
+"""
+
+import numpy as np
+import pytest
+
+import repro.core.chains as chains_module
+from repro.core.chains import chains_from_relation
+from repro.core.dataflow import dataflow_partition
+from repro.core.partition import three_set_partition
+from repro.core.statement import build_statement_space
+from repro.dependence import DependenceAnalysis
+from repro.isl.relations import FiniteRelation
+from repro.workloads.examples import (
+    cholesky_loop,
+    example2_loop,
+    example3_loop,
+    figure1_loop,
+    figure2_loop,
+)
+from repro.workloads.synthetic import scale_partition_case
+
+
+def _iteration_level(prog):
+    analysis = DependenceAnalysis(prog, {})
+    return prog.name, analysis.iteration_space_points, analysis.iteration_dependences
+
+
+def _statement_level(prog):
+    space = build_statement_space(prog, {})
+    return prog.name, sorted(space.points), space.rd
+
+
+def _cases():
+    for prog in (figure1_loop(12, 12), figure2_loop(20), example2_loop(12)):
+        yield _iteration_level(prog)
+    for prog in (example3_loop(6), cholesky_loop(nmat=1, m=2, n=6, nrhs=1)):
+        yield _statement_level(prog)
+    space, rd = scale_partition_case(25, 20)
+    yield "scale-25x20", [tuple(p) for p in space.tolist()], rd
+
+
+CASES = list(_cases())
+CASE_IDS = [name for name, _, _ in CASES]
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("name,space,rd", CASES, ids=CASE_IDS)
+    def test_three_set_partition_identical(self, name, space, rd):
+        set_result = three_set_partition(space, rd, engine="set")
+        vec_result = three_set_partition(space, rd, engine="vector")
+        assert vec_result.space == set_result.space
+        assert vec_result.p1 == set_result.p1
+        assert vec_result.p2 == set_result.p2
+        assert vec_result.p3 == set_result.p3
+        assert vec_result.w == set_result.w
+        assert vec_result.rd == set_result.rd
+        assert vec_result.is_complete() and vec_result.respects_phase_order()
+
+    @pytest.mark.parametrize("name,space,rd", CASES, ids=CASE_IDS)
+    def test_dataflow_wavefronts_identical(self, name, space, rd):
+        set_result = dataflow_partition(space, rd, engine="set")
+        vec_result = dataflow_partition(space, rd, engine="vector")
+        assert vec_result.wavefronts == set_result.wavefronts
+        assert vec_result.is_complete(space)
+        assert vec_result.respects_dependences()
+
+    def test_array_space_input_equals_tuple_input(self):
+        space, rd = scale_partition_case(15, 12)
+        tuples = [tuple(p) for p in space.tolist()]
+        for engine in ("set", "vector"):
+            from_array = three_set_partition(space, rd, engine=engine)
+            from_tuples = three_set_partition(tuples, rd, engine=engine)
+            assert from_array == from_tuples
+            assert (
+                dataflow_partition(space, rd, engine=engine).wavefronts
+                == dataflow_partition(tuples, rd, engine=engine).wavefronts
+            )
+
+    def test_unknown_engine_rejected(self):
+        space, rd = scale_partition_case(4, 4)
+        with pytest.raises(ValueError):
+            three_set_partition(space, rd, engine="simd")
+        with pytest.raises(ValueError):
+            dataflow_partition(space, rd, engine="simd")
+
+    def test_auto_falls_back_when_keys_overflow(self, monkeypatch):
+        """Coordinates too large for int64 keys: auto uses the set engine —
+        for every space input form — while forced vector raises."""
+        import repro.isl.relations as relations_module
+
+        monkeypatch.setattr(relations_module, "BULK_SIZE_THRESHOLD", 1)
+        space = [(0, 0), (2**40, 2**40), (1, 1)]
+        rd = FiniteRelation.from_pairs([((0, 0), (2**40, 2**40))])
+        for space_input in (space, np.array(space, dtype=np.int64)):
+            partition = three_set_partition(space_input, rd)
+            assert partition.p1 == {(0, 0), (1, 1)}
+            flow = dataflow_partition(space_input, rd)
+            assert flow.num_steps == 2
+        with pytest.raises(ValueError, match="too large"):
+            three_set_partition(space, rd, engine="vector")
+
+
+class TestVectorStallPaths:
+    def test_cyclic_relation_detected(self):
+        space = [(1,), (2,)]
+        rd = FiniteRelation.from_pairs([((1,), (2,)), ((2,), (1,))])
+        with pytest.raises(RuntimeError, match="stalled"):
+            dataflow_partition(space, rd, engine="vector")
+
+    def test_partial_cycle_detected_after_progress(self):
+        # an acyclic prefix drains, then the cycle stalls the peeling
+        space = [(1,), (2,), (3,)]
+        rd = FiniteRelation.from_pairs(
+            [((1,), (2,)), ((2,), (3,)), ((3,), (2,))]
+        )
+        with pytest.raises(RuntimeError, match="stalled"):
+            dataflow_partition(space, rd, engine="vector")
+
+    def test_max_steps_guard(self):
+        space = [(i,) for i in range(1, 50)]
+        rd = FiniteRelation.from_pairs([((i,), (i + 1,)) for i in range(1, 49)])
+        with pytest.raises(RuntimeError, match="did not terminate"):
+            dataflow_partition(space, rd, max_steps=5, engine="vector")
+
+    def test_self_loop_stalls(self):
+        space = [(1,), (2,)]
+        rd = FiniteRelation.from_pairs([((2,), (2,))])
+        with pytest.raises(RuntimeError, match="stalled"):
+            dataflow_partition(space, rd, engine="vector")
+
+
+class TestChainsBulkLookup:
+    def test_sorted_array_lookup_matches_dict_lookup(self, monkeypatch):
+        prog = figure1_loop(25, 25)
+        analysis = DependenceAnalysis(prog, {})
+        partition = three_set_partition(
+            analysis.iteration_space_points, analysis.iteration_dependences
+        )
+        baseline = chains_from_relation(partition)
+        monkeypatch.setattr(chains_module, "BULK_SIZE_THRESHOLD", 1)
+        bulk = chains_from_relation(partition)
+        assert [c.points for c in bulk] == [c.points for c in baseline]

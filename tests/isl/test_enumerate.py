@@ -7,7 +7,12 @@ from hypothesis import strategies as st
 
 from repro.isl.affine import var
 from repro.isl.convex import Constraint, ConvexSet
-from repro.isl.enumerate_points import enumerate_convex, filter_box_numpy, iteration_points
+from repro.isl.enumerate_points import (
+    EnumerationTruncated,
+    enumerate_convex,
+    filter_box_numpy,
+    iteration_points,
+)
 
 
 class TestEnumerateConvex:
@@ -77,9 +82,26 @@ class TestEnumerateConvex:
             enumerate_convex(cs)
         assert enumerate_convex(cs, {"N": 3}) == [(1,), (2,), (3,)]
 
-    def test_max_points_cap(self):
+    def test_max_points_cap_raises_on_truncation(self):
         cs = ConvexSet.from_box(["i"], [(1, 100)])
-        assert len(enumerate_convex(cs, max_points=5)) == 5
+        with pytest.raises(EnumerationTruncated) as excinfo:
+            enumerate_convex(cs, max_points=5)
+        # the truncated prefix rides along on the exception
+        assert excinfo.value.points == [(1,), (2,), (3,), (4,), (5,)]
+
+    def test_max_points_cap_opt_in_truncated_result(self):
+        cs = ConvexSet.from_box(["i"], [(1, 100)])
+        points = enumerate_convex(cs, max_points=5, allow_truncated=True)
+        assert points == [(1,), (2,), (3,), (4,), (5,)]
+
+    def test_max_points_exact_fit_is_complete(self):
+        cs = ConvexSet.from_box(["i"], [(1, 5)])
+        # enumeration finishes exactly at the cap: complete, no exception
+        assert enumerate_convex(cs, max_points=5) == [(1,), (2,), (3,), (4,), (5,)]
+
+    def test_max_points_above_size_is_complete(self):
+        cs = ConvexSet.from_box(["i"], [(1, 3)])
+        assert enumerate_convex(cs, max_points=10) == [(1,), (2,), (3,)]
 
     @given(st.integers(0, 5), st.integers(0, 5), st.integers(-3, 3), st.integers(-3, 3))
     @settings(max_examples=30, deadline=None)

@@ -1,12 +1,22 @@
 """Tests for repro.isl.relations: finite and symbolic relations."""
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.isl.affine import AffineExpr, var
 from repro.isl.convex import Constraint, ConvexSet
-from repro.isl.relations import ConvexRelation, FiniteRelation, UnionRelation
+from repro.isl.lexorder import lex_lt
+from repro.isl.relations import (
+    BULK_SIZE_THRESHOLD,
+    ConvexRelation,
+    FiniteRelation,
+    PointCodec,
+    SuccessorIndex,
+    UnionRelation,
+    in_sorted,
+)
 from repro.isl.sets import UnionSet
 
 
@@ -89,6 +99,115 @@ class TestOrientation:
         r = rel([((a,), (b,)) for a, b in raw])
         for src, dst in r.oriented_forward().pairs:
             assert src < dst
+
+
+class TestPointCodec:
+    def test_encode_decode_round_trip(self):
+        points = np.array([[1, 5], [3, -2], [0, 0], [7, 4]], dtype=np.int64)
+        codec = PointCodec.for_arrays(points)
+        keys = codec.encode(points)
+        assert np.array_equal(codec.decode(keys), points)
+        assert len(set(keys.tolist())) == 4
+
+    def test_key_order_is_lexicographic(self):
+        points = np.array(
+            [[2, 1], [1, 9], [1, 2], [2, 0], [0, 5]], dtype=np.int64
+        )
+        codec = PointCodec.for_arrays(points)
+        keys = codec.encode(points)
+        by_key = [tuple(p) for p in points[np.argsort(keys)].tolist()]
+        assert by_key == sorted(tuple(p) for p in points.tolist())
+
+    def test_contains(self):
+        codec = PointCodec.for_arrays(np.array([[0, 0], [3, 3]], dtype=np.int64))
+        mask = codec.contains(np.array([[1, 1], [4, 0], [-1, 2]], dtype=np.int64))
+        assert mask.tolist() == [True, False, False]
+
+    def test_overflow_raises(self):
+        huge = np.array([[0, 0], [2**40, 2**40]], dtype=np.int64)
+        with pytest.raises(ValueError):
+            PointCodec.for_arrays(huge)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            PointCodec.for_arrays(np.zeros((0, 2), dtype=np.int64))
+
+    def test_in_sorted(self):
+        sorted_keys = np.array([2, 5, 9], dtype=np.int64)
+        keys = np.array([1, 2, 5, 6, 9, 10], dtype=np.int64)
+        assert in_sorted(keys, sorted_keys).tolist() == [
+            False, True, True, False, True, False,
+        ]
+        assert not in_sorted(keys, np.zeros(0, dtype=np.int64)).any()
+
+
+class TestArrayBackedRelation:
+    def make(self):
+        return rel(
+            [((1, 1), (2, 3)), ((2, 3), (4, 4)), ((1, 2), (2, 3)), ((5, 0), (6, 1))]
+        )
+
+    def test_as_arrays_round_trip(self):
+        r = self.make()
+        src, dst = r.as_arrays()
+        assert src.shape == (4, 2) and dst.shape == (4, 2)
+        assert FiniteRelation.from_arrays(src, dst) == r
+        # cached: the same objects come back
+        assert r.as_arrays()[0] is src
+
+    def test_as_arrays_empty(self):
+        r = FiniteRelation(frozenset(), 2, 2)
+        src, dst = r.as_arrays()
+        assert src.shape == (0, 2) and dst.shape == (0, 2)
+
+    def test_bulk_dom_ran_match_set_ops(self):
+        r = self.make()
+        codec = r.codec()
+        dom_pts = {tuple(p) for p in codec.decode(r.bulk_dom(codec)).tolist()}
+        ran_pts = {tuple(p) for p in codec.decode(r.bulk_ran(codec)).tolist()}
+        assert dom_pts == r.domain()
+        assert ran_pts == r.range()
+
+    def test_bulk_restrict_matches_set_restrict(self):
+        r = self.make()
+        domain = {(1, 1), (1, 2)}
+        rng = {(2, 3)}
+        codec = r.codec(np.array(sorted(domain | rng), dtype=np.int64))
+        dom_keys = np.unique(codec.encode(np.array(sorted(domain), dtype=np.int64)))
+        rng_keys = np.unique(codec.encode(np.array(sorted(rng), dtype=np.int64)))
+        assert r.bulk_restrict(codec, dom_keys, rng_keys) == r.restrict(domain, rng)
+        assert r.bulk_restrict(codec, dom_keys) == r.restrict(domain=domain)
+        # no-op restriction returns self
+        all_keys = np.unique(
+            np.concatenate([codec.encode(a) for a in r.as_arrays()])
+        )
+        assert r.bulk_restrict(codec, all_keys, all_keys) is r
+
+    def test_successor_index_matches_successors(self):
+        r = self.make()
+        index = SuccessorIndex.from_relation(r)
+        for point in sorted(r.points()):
+            assert index.successors(point) == r.successors(point)
+
+    def test_successor_index_out_of_box_point(self):
+        r = self.make()
+        index = SuccessorIndex.from_relation(r)
+        assert index.successors((100, 100)) == []
+
+    def test_oriented_forward_bulk_matches_scalar(self):
+        n = BULK_SIZE_THRESHOLD + 500
+        raw = [
+            ((k % 67, (k * 13) % 71), ((k * 7) % 67, (k * 3) % 71))
+            for k in range(n)
+        ]
+        r = rel(raw)
+        assert len(r) >= BULK_SIZE_THRESHOLD  # the bulk branch actually runs
+        expected = set()
+        for a, b in r.pairs:
+            if a == b:
+                continue
+            expected.add((a, b) if lex_lt(a, b) else (b, a))
+        assert r.oriented_forward().pairs == frozenset(expected)
 
 
 class TestConvexRelation:

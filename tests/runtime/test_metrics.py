@@ -23,6 +23,14 @@ class TestScheduleParallelism:
         assert metrics["phases"] == 3.0
         assert metrics["average_parallelism"] > 10
 
+    def test_empty_schedule_reports_zero_not_nan(self):
+        from repro.core.schedule import Schedule
+
+        metrics = schedule_parallelism(Schedule.from_phases("empty", []))
+        assert metrics["work"] == 0.0
+        assert metrics["span"] == 0.0
+        assert metrics["average_parallelism"] == 0.0  # not NaN
+
 
 class TestCompareSchemes:
     def make_table(self):
@@ -44,6 +52,18 @@ class TestCompareSchemes:
     def test_winner(self):
         table = self.make_table()
         assert table.winner(4) in {"REC", "PDM", "PL"}
+
+    def test_winner_with_missing_entries(self):
+        # B has no entry at p=2: it counts as 0.0 speedup, no KeyError
+        table = SpeedupTable(
+            (1, 2), {"A": {1: 1.0, 2: 3.0}, "B": {1: 2.0}}
+        )
+        assert table.winner(1) == "B"
+        assert table.winner(2) == "A"
+
+    def test_winner_all_missing(self):
+        table = SpeedupTable((1,), {"A": {}, "B": {}})
+        assert table.winner(1) in {"A", "B"}
 
     def test_format_contains_all_schemes(self):
         text = self.make_table().format()

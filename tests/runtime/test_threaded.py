@@ -34,3 +34,15 @@ class TestThreadedExecution:
         result = recurrence_chain_partition(prog)
         with pytest.raises(ValueError):
             execute_schedule_threaded(prog, result.schedule, {}, n_threads=0)
+
+    @pytest.mark.parametrize("n_threads", [1, 4])
+    def test_locked_execution_matches_sequential(self, n_threads):
+        """lock_free=False serializes per-array but must not change results."""
+        prog = figure1_loop(10, 12)
+        result = recurrence_chain_partition(prog)
+        ref = execute_sequential(prog, {})
+        run = execute_schedule_threaded(
+            prog, result.schedule, {}, n_threads=n_threads, lock_free=False
+        )
+        assert np.array_equal(ref["a"], run.store["a"])
+        assert run.instances_executed == result.schedule.total_work

@@ -2,13 +2,19 @@
 
 import random
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.dependence import DependenceAnalysis
 from repro.ir.validate import validate_program
 from repro.workloads.corpus import SPECFP95_LIKE, CorpusComposition, build_corpus
-from repro.workloads.synthetic import generate_corpus_programs, random_coupled_loop
+from repro.workloads.synthetic import (
+    generate_corpus_programs,
+    large_uniform_loop,
+    random_coupled_loop,
+    scale_partition_case,
+)
 
 
 class TestRandomCoupledLoop:
@@ -65,6 +71,39 @@ class TestRandomCoupledLoop:
         specs = generate_corpus_programs(seed=3, count=12, uniform_fraction=0.5)
         assert len(specs) == 12
         assert len({s.program.name for s in specs}) == 12
+
+
+class TestScalePartitionCase:
+    def test_small_case_ground_truth(self):
+        space, rd = scale_partition_case(4, 3)
+        assert space.shape == (12, 2)
+        expected = {
+            ((i, j), (i + 1, j + 1))
+            for i in range(1, 4)
+            for j in range(1, 3)
+        }
+        assert rd.pairs == frozenset(expected)
+
+    def test_matches_exact_analysis_of_large_uniform_loop(self):
+        prog = large_uniform_loop(6, 5)
+        assert validate_program(prog) == []
+        analysis = DependenceAnalysis(prog, {})
+        space, rd = scale_partition_case(6, 5)
+        assert analysis.iteration_dependences.pairs == rd.pairs
+        assert {tuple(p) for p in space.tolist()} == set(
+            analysis.iteration_space_points
+        )
+
+    def test_other_distances(self):
+        _, rd = scale_partition_case(5, 5, distance=(1, -1))
+        assert ((1, 2), (2, 1)) in rd
+        assert ((1, 1), (2, 0)) not in rd  # target leaves the box
+
+    def test_lex_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            scale_partition_case(5, 5, distance=(-1, 0))
+        with pytest.raises(ValueError):
+            scale_partition_case(5, 5, distance=(0, 0))
 
 
 class TestCorpus:
