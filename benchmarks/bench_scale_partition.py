@@ -1,21 +1,41 @@
-"""E-scale — scaling sweep of the vectorized partitioning engine.
+"""E-scale — scaling sweeps of the array-native partitioning pipeline.
 
 Not a paper artifact: this benchmark guards the performance contract of the
-array-backed partitioning path.  It sweeps iteration-space sizes from 10³ to
-10⁵ points (10⁶ with ``REPRO_SCALE_XL=1``; the set engine is skipped there —
-it would take minutes) over the hot path of Algorithm 1's concrete branch —
-three-set partition (eq. 5) followed by dataflow wavefront peeling — running
-both the set-based engine and the vectorized engine on the same uniform
-dependence workload (:func:`repro.workloads.synthetic.scale_partition_case`).
+array-backed path, at two levels.
 
-Asserted contract: at ≥10⁵ points the vectorized engine is ≥5× faster in
-wall-clock, and both engines produce identical P1/P2/P3/W sets and identical
-wavefronts.
+* ``test_scale_partition_speedup`` — the original core sweep: three-set
+  partition (eq. 5) + dataflow wavefront peeling over a **synthetic relation**
+  (:func:`repro.workloads.synthetic.scale_partition_case`), set vs vector
+  engine, 10³–10⁵ points (10⁶ with ``REPRO_SCALE_XL=1``).  Contract: ≥5×
+  at 10⁵ points, bit-identical partitions and wavefronts.
+
+* ``test_end_to_end_pipeline_speedup`` — the full **program → exact Rd →
+  schedule** pipeline on a real program (:func:`large_uniform_loop`), old
+  path (hash-join analyser, frozenset unions, set-engine partitioners, tuple
+  ``Schedule``) vs array-native path (sort/merge join, array concatenation,
+  vector engines, :class:`~repro.core.schedule.ArrayPhase` schedule).
+  Contract: ≥10× end-to-end wall-clock at 10⁵ points, bit-identical
+  P1/P2/P3/W sets and wavefronts.
+
+* ``test_triangular_end_to_end`` — the same pipeline over the non-rectangular
+  :func:`large_triangular_loop` (bounding-box + filter enumeration feeding
+  the sort join): path equivalence at 10⁴ points, array-path wall-clock
+  recorded at 10⁵.
+
+Every sweep's rows are recorded in ``BENCH_scale.json`` at the repository
+root — the perf-trajectory file CI regenerates on each run.
 """
 
+import json
 import os
 import time
+from pathlib import Path
 
+from repro.analysis.pipelines import (
+    pipeline_mismatches,
+    run_array_pipeline,
+    run_set_pipeline,
+)
 from repro.core.dataflow import dataflow_partition
 from repro.core.partition import three_set_partition
 
@@ -25,9 +45,23 @@ from conftest import emit, run_once
 SIZES = [(40, 25), (125, 80), (500, 200)]
 XL_SIZE = (1250, 800)  # 10⁶ points, vector engine only
 
+BENCH_JSON = Path(__file__).resolve().parents[1] / "BENCH_scale.json"
+
+
+def record_bench(section, rows):
+    """Merge one sweep's rows into the BENCH_scale.json perf-trajectory file."""
+    data = {}
+    if BENCH_JSON.exists():
+        try:
+            data = json.loads(BENCH_JSON.read_text())
+        except json.JSONDecodeError:
+            data = {}
+    data[section] = rows
+    BENCH_JSON.write_text(json.dumps(data, indent=2) + "\n")
+
 
 def hot_path(space, rd, engine):
-    """The measured hot path: eq. 5 partition + dataflow peeling."""
+    """The measured core hot path: eq. 5 partition + dataflow peeling."""
     partition = three_set_partition(space, rd, engine=engine)
     waves = dataflow_partition(space, rd, engine=engine)
     return partition, waves
@@ -78,6 +112,7 @@ def test_scale_partition_speedup(benchmark, report):
             }
         )
     report("Scaling sweep: three-set partition + dataflow peeling", rows)
+    record_bench("scale_partition", rows)
 
     big = rows[len(SIZES) - 1]
     assert big["points"] >= 10**5
@@ -89,3 +124,74 @@ def test_scale_partition_speedup(benchmark, report):
     # pytest-benchmark as well.
     space, rd = scale_partition_case(*SIZES[-1])
     run_once(benchmark, hot_path, space, rd, "vector")
+
+
+# ---------------------------------------------------------------------------
+# end-to-end pipeline: program -> exact Rd -> partition -> schedule
+# (drivers shared with tests/core/test_array_pipeline.py via
+#  repro.analysis.pipelines, so the bench measures exactly what is verified)
+# ---------------------------------------------------------------------------
+
+
+def test_end_to_end_pipeline_speedup(report):
+    from repro.workloads.synthetic import large_uniform_loop
+
+    rows = []
+    for n1, n2 in SIZES:
+        prog = large_uniform_loop(n1, n2)
+        t0 = time.perf_counter()
+        set_run = run_set_pipeline(prog)
+        t_set = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        array_run = run_array_pipeline(prog)
+        t_array = time.perf_counter() - t0
+        assert not pipeline_mismatches(set_run, array_run)
+        rows.append(
+            {
+                "points": n1 * n2,
+                "pairs": len(array_run.rd),
+                "wavefronts": array_run.schedule.num_phases,
+                "t_set_s": round(t_set, 4),
+                "t_array_s": round(t_array, 4),
+                "speedup": round(t_set / t_array, 2),
+            }
+        )
+    report("End-to-end sweep: program -> exact Rd -> schedule", rows)
+    record_bench("end_to_end_uniform", rows)
+
+    big = rows[-1]
+    assert big["points"] >= 10**5
+    assert big["speedup"] >= 10.0, (
+        f"array-native pipeline only {big['speedup']}x faster end-to-end "
+        f"at {big['points']} points"
+    )
+
+
+def test_triangular_end_to_end(report):
+    from repro.workloads.synthetic import large_triangular_loop
+
+    # Equivalence of the two paths through the non-rectangular join at 10⁴.
+    prog = large_triangular_loop(141)
+    assert not pipeline_mismatches(run_set_pipeline(prog), run_array_pipeline(prog))
+
+    # Array-path wall-clock at 10⁵ points (the set path would take minutes:
+    # its dataflow peeling alone is O(steps · |Rd|) over Python sets).
+    rows = []
+    for n in (141, 447):
+        prog = large_triangular_loop(n)
+        t0 = time.perf_counter()
+        array_run = run_array_pipeline(prog)
+        t_array = time.perf_counter() - t0
+        assert array_run.schedule.num_phases == n  # one wavefront per diagonal row
+        rows.append(
+            {
+                "n": n,
+                "points": n * (n + 1) // 2,
+                "pairs": len(array_run.rd),
+                "wavefronts": array_run.schedule.num_phases,
+                "t_array_s": round(t_array, 4),
+            }
+        )
+    report("Triangular end-to-end sweep (array path)", rows)
+    record_bench("end_to_end_triangular", rows)
+    assert rows[-1]["points"] >= 10**5

@@ -1,0 +1,80 @@
+"""Shared drivers for the set-path vs array-path pipeline comparison.
+
+The engine-equivalence tests (``tests/core/test_array_pipeline.py``) and the
+scaling benchmark (``benchmarks/bench_scale_partition.py``) both need to run
+the same two pipelines — program → exact Rd → three-set partition → dataflow
+schedule, once on the original set/tuple representation and once on the
+array-native one — and assert they are bit-identical.  Keeping a single copy
+of the drivers and the comparison here guarantees the bench measures exactly
+the pipeline the tests verify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..core.dataflow import dataflow_schedule
+from ..core.partition import ThreeSetPartition, three_set_partition
+from ..core.schedule import Schedule
+from ..dependence.analysis import DependenceAnalysis
+from ..ir.program import LoopProgram
+from ..isl.relations import FiniteRelation
+
+__all__ = ["PipelineRun", "run_set_pipeline", "run_array_pipeline", "pipeline_mismatches"]
+
+
+@dataclass(frozen=True)
+class PipelineRun:
+    """Everything one pipeline pass produced, for timing and comparison."""
+
+    analysis: DependenceAnalysis
+    rd: FiniteRelation
+    partition: ThreeSetPartition
+    schedule: Schedule
+
+
+def run_set_pipeline(prog: LoopProgram) -> PipelineRun:
+    """The pre-array-native pipeline: tuples and frozensets end to end."""
+    analysis = DependenceAnalysis(prog, {}, engine="set")
+    rd = analysis.iteration_dependences
+    space = analysis.iteration_space_points
+    partition = three_set_partition(space, rd, engine="set")
+    schedule = dataflow_schedule(f"{prog.name}-set", space, rd, engine="set")
+    return PipelineRun(analysis, rd, partition, schedule)
+
+
+def run_array_pipeline(prog: LoopProgram) -> PipelineRun:
+    """The array-native pipeline: sort join, array Rd, CSR wavefront schedule."""
+    analysis = DependenceAnalysis(prog, {}, engine="vector")
+    rd = analysis.iteration_dependences
+    space = analysis.iteration_space_array
+    partition = three_set_partition(space, rd, engine="vector")
+    schedule = dataflow_schedule(f"{prog.name}-array", space, rd, engine="vector")
+    return PipelineRun(analysis, rd, partition, schedule)
+
+
+def pipeline_mismatches(set_run: PipelineRun, array_run: PipelineRun) -> List[str]:
+    """Differences between the two pipeline passes (empty list == bit-identical).
+
+    Compares the combined relation, every three-set component, and the
+    schedules phase by phase (names and exact instance sequences).
+    """
+    problems: List[str] = []
+    if array_run.rd != set_run.rd:
+        problems.append("combined dependence relation differs")
+    for name in ("p1", "p2", "p3", "w"):
+        if getattr(array_run.partition, name) != getattr(set_run.partition, name):
+            problems.append(f"three-set component {name.upper()} differs")
+    sched_a, sched_s = array_run.schedule, set_run.schedule
+    if sched_a.num_phases != sched_s.num_phases:
+        problems.append(
+            f"phase count differs: {sched_a.num_phases} != {sched_s.num_phases}"
+        )
+    else:
+        for pa, ps in zip(sched_a.phases, sched_s.phases):
+            if pa.name != ps.name:
+                problems.append(f"phase name differs: {pa.name!r} != {ps.name!r}")
+            if pa.instances() != ps.instances():
+                problems.append(f"instances differ in phase {pa.name!r}")
+    return problems

@@ -42,7 +42,7 @@ from .recurrence import (
     iteration_space_diameter,
     theorem1_bound,
 )
-from .schedule import ExecutionUnit, Instance, ParallelPhase, Schedule
+from .schedule import ArrayPhase, ExecutionUnit, Instance, ParallelPhase, Schedule
 from .statement import StatementLevelSpace, build_statement_space
 
 __all__ = [
@@ -70,6 +70,7 @@ __all__ = [
     "three_phase_schedule",
     "Schedule",
     "ParallelPhase",
+    "ArrayPhase",
     "ExecutionUnit",
     "Instance",
 ]

@@ -32,7 +32,6 @@ emit identical wavefronts and raise the same :class:`RuntimeError` on cyclic
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
@@ -41,30 +40,142 @@ from ..isl.relations import (
     FiniteRelation,
     PointCodec,
     in_sorted,
+    readonly_view,
     resolve_bulk_engine,
 )
-from .schedule import ExecutionUnit, Instance, ParallelPhase, Schedule
+from .schedule import ExecutionUnit, Instance, ParallelPhase, Schedule, validate_csr
 
 __all__ = ["DataflowPartition", "dataflow_partition", "dataflow_schedule"]
 
 Point = Tuple[int, ...]
 
 
-@dataclass(frozen=True)
 class DataflowPartition:
-    """The result of iterative dataflow partitioning: an ordered list of wavefronts."""
+    """The result of iterative dataflow partitioning: an ordered list of wavefronts.
 
-    wavefronts: Tuple[FrozenSet[Point], ...]
-    rd: FiniteRelation
+    Dual representation, mirroring :class:`~repro.isl.relations.FiniteRelation`:
+    the set engine builds the partition as a tuple of frozensets, the vector
+    engine as CSR-style arrays — ``point_rows`` holding every iteration point
+    (``(total, dim)`` int64, level-major, lexicographic inside a level) and
+    ``level_offsets`` the ``(levels + 1,)`` prefix sums.  Whichever form is
+    missing is derived lazily and cached: :attr:`wavefronts` materialises the
+    frozensets of an array-built partition only when a set-path consumer (the
+    validators, the equivalence tests) asks, while :meth:`level_arrays` gives
+    the executors and schedule builders the array form of either.
+    """
+
+    __slots__ = ("rd", "_wavefronts", "_level_offsets", "_point_rows", "_array_backed")
+
+    def __init__(
+        self, wavefronts: Tuple[FrozenSet[Point], ...], rd: FiniteRelation
+    ):
+        self._wavefronts: Optional[Tuple[FrozenSet[Point], ...]] = tuple(wavefronts)
+        self._level_offsets: Optional[np.ndarray] = None
+        self._point_rows: Optional[np.ndarray] = None
+        self._array_backed = False
+        self.rd = rd
+
+    @staticmethod
+    def from_arrays(
+        level_offsets: np.ndarray, point_rows: np.ndarray, rd: FiniteRelation
+    ) -> "DataflowPartition":
+        """An array-backed partition; the frozenset view stays unbuilt until used."""
+        offsets, rows = validate_csr(level_offsets, point_rows)
+        part = DataflowPartition.__new__(DataflowPartition)
+        part._wavefronts = None
+        part._level_offsets = offsets
+        part._point_rows = rows
+        part._array_backed = True
+        part.rd = rd
+        return part
+
+    @property
+    def wavefronts(self) -> Tuple[FrozenSet[Point], ...]:
+        """The wavefronts as frozensets — lazily derived for array-built partitions."""
+        if self._wavefronts is None:
+            offsets, rows = self._level_offsets, self._point_rows
+            self._wavefronts = tuple(
+                frozenset(
+                    map(tuple, rows[int(offsets[k]) : int(offsets[k + 1])].tolist())
+                )
+                for k in range(len(offsets) - 1)
+            )
+        return self._wavefronts
+
+    def level_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The partition as ``(level_offsets, point_rows)`` CSR arrays.
+
+        Array-built partitions return their backing arrays; set-built ones
+        derive them once (points sorted lexicographically inside each level,
+        matching the vector engine's emission order) and cache the result.
+        """
+        if self._level_offsets is None:
+            waves = self._wavefronts
+            # The dimension comes from the first point of any non-empty wave
+            # (a constructor-built partition may legally hold empty waves),
+            # falling back to the relation's dimension for all-empty input.
+            dim = next((len(p) for wave in waves for p in wave), self.rd.dim_in)
+            sizes = [len(w) for w in waves]
+            offsets = np.zeros(len(waves) + 1, dtype=np.int64)
+            np.cumsum(np.asarray(sizes, dtype=np.int64), out=offsets[1:])
+            rows = np.zeros((int(offsets[-1]), dim), dtype=np.int64)
+            for k, wave in enumerate(waves):
+                chunk = sorted(wave)
+                rows[int(offsets[k]) : int(offsets[k + 1])] = np.asarray(
+                    chunk, dtype=np.int64
+                ).reshape(len(chunk), dim)
+            self._level_offsets = readonly_view(offsets)
+            self._point_rows = readonly_view(rows)
+        return self._level_offsets, self._point_rows
+
+    @property
+    def array_backed(self) -> bool:
+        """True when the partition was built on the array path — a fixed fact
+        of construction, not of which lazy views have been materialised since."""
+        return self._array_backed
 
     @property
     def num_steps(self) -> int:
         """Number of partitioning steps (the paper reports 238 for Example 4)."""
-        return len(self.wavefronts)
+        if self._wavefronts is None:
+            return len(self._level_offsets) - 1
+        return len(self._wavefronts)
 
     @property
     def total_points(self) -> int:
-        return sum(len(w) for w in self.wavefronts)
+        if self._wavefronts is None:
+            return len(self._point_rows)
+        return sum(len(w) for w in self._wavefronts)
+
+    def level_sizes(self) -> List[int]:
+        """Points per wavefront, representation-independent."""
+        if self._wavefronts is None:
+            return np.diff(self._level_offsets).tolist()
+        return [len(w) for w in self._wavefronts]
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, DataflowPartition):
+            return NotImplemented
+        if self.rd != other.rd:
+            return False
+        if self._level_offsets is not None and other._level_offsets is not None:
+            # Both array-backed: identical CSR arrays prove identical
+            # wavefronts without boxing a single tuple; differing arrays may
+            # still hold the same sets in another row order, so fall through.
+            if np.array_equal(
+                self._level_offsets, other._level_offsets
+            ) and np.array_equal(self._point_rows, other._point_rows):
+                return True
+        return self.wavefronts == other.wavefronts
+
+    def __hash__(self) -> int:
+        return hash((self.wavefronts, self.rd))
+
+    def __repr__(self) -> str:
+        return (
+            f"DataflowPartition(<{self.num_steps} wavefronts, "
+            f"{self.total_points} points>)"
+        )
 
     def level_of(self) -> Dict[Point, int]:
         out: Dict[Point, int] = {}
@@ -75,6 +186,8 @@ class DataflowPartition:
 
     def is_complete(self, space: Iterable[Point]) -> bool:
         """Every iteration appears in exactly one wavefront."""
+        if isinstance(space, np.ndarray):
+            space = map(tuple, space.tolist())
         seen: Set[Point] = set()
         for wave in self.wavefronts:
             for p in wave:
@@ -120,7 +233,10 @@ def _dataflow_partition_vector(
     offsets = np.zeros(n + 1, dtype=np.int64)
     np.cumsum(np.bincount(src_idx, minlength=n), out=offsets[1:])
 
-    wavefronts: List[FrozenSet[Point]] = []
+    # Wavefronts accumulate as per-level key arrays (ascending keys == lex
+    # order); the points are decoded once at the end into the CSR row array —
+    # no per-point tuple or frozenset is ever built on this path.
+    level_keys: List[np.ndarray] = []
     frontier = np.flatnonzero(indegree == 0)
     released = 0
     steps = 0
@@ -135,9 +251,7 @@ def _dataflow_partition_vector(
                 "dataflow partitioning stalled: every remaining iteration has a "
                 "pending predecessor (cyclic dependence relation)"
             )
-        wavefronts.append(
-            frozenset(map(tuple, codec.decode(phi_keys[frontier]).tolist()))
-        )
+        level_keys.append(phi_keys[frontier])
         released += int(frontier.size)
         starts = offsets[frontier]
         counts = offsets[frontier + 1] - starts
@@ -153,7 +267,14 @@ def _dataflow_partition_vector(
         else:
             frontier = np.zeros(0, dtype=np.int64)
         steps += 1
-    return DataflowPartition(tuple(wavefronts), rd)
+    sizes = np.asarray([len(k) for k in level_keys], dtype=np.int64)
+    level_offsets = np.zeros(len(level_keys) + 1, dtype=np.int64)
+    np.cumsum(sizes, out=level_offsets[1:])
+    all_keys = (
+        np.concatenate(level_keys) if level_keys else np.zeros(0, dtype=np.int64)
+    )
+    point_rows = codec.decode(all_keys)
+    return DataflowPartition.from_arrays(level_offsets, point_rows, rd)
 
 
 def dataflow_partition(
@@ -215,8 +336,25 @@ def dataflow_schedule(
     instances it stands for (used at statement level, where a point is a
     unified statement index vector); by default each point becomes the single
     instance ``(label, point)``.
+
+    A partition built on the vector engine (and not remapped through
+    ``instances_of``) becomes an **array-backed schedule**: one
+    :class:`~repro.core.schedule.ArrayPhase` per wavefront over the CSR
+    arrays, no per-point unit objects.  Both forms execute and validate
+    identically (the unit order inside a phase — lexicographic — matches the
+    tuple path's ``sorted(wave)``).
     """
     partition = dataflow_partition(space, rd, engine=engine)
+    if instances_of is None and partition.array_backed:
+        level_offsets, point_rows = partition.level_arrays()
+        return Schedule.from_arrays(
+            name,
+            label,
+            level_offsets,
+            point_rows,
+            scheme="dataflow",
+            num_steps=partition.num_steps,
+        )
     phases = []
     for level, wave in enumerate(partition.wavefronts):
         units = []

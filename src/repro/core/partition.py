@@ -47,6 +47,7 @@ from ..isl.relations import (
     PointCodec,
     UnionRelation,
     in_sorted,
+    readonly_view,
     resolve_bulk_engine,
 )
 from ..isl.sets import UnionSet
@@ -57,16 +58,145 @@ __all__ = ["ThreeSetPartition", "three_set_partition", "SymbolicThreeSetPartitio
 Point = Tuple[int, ...]
 
 
-@dataclass(frozen=True)
 class ThreeSetPartition:
-    """The concrete three-set partition of an iteration space."""
+    """The concrete three-set partition of an iteration space.
 
-    space: FrozenSet[Point]
-    rd: FiniteRelation
-    p1: FrozenSet[Point]
-    p2: FrozenSet[Point]
-    p3: FrozenSet[Point]
-    w: FrozenSet[Point]
+    Dual representation: the set engine constructs the partition from
+    frozensets; the vector engine hands over ``(n, dim)`` int64 row arrays
+    (:meth:`from_arrays`) and the frozenset views are derived lazily — a
+    10⁵-point partition whose consumer only builds an array schedule never
+    boxes a point into a tuple.  :meth:`p1_array`/:meth:`p3_array` expose the
+    DOALL sets in lexicographic row order for the array schedule builders.
+    """
+
+    _SETS = ("space", "p1", "p2", "p3", "w")
+
+    def __init__(
+        self,
+        space: FrozenSet[Point],
+        rd: FiniteRelation,
+        p1: FrozenSet[Point],
+        p2: FrozenSet[Point],
+        p3: FrozenSet[Point],
+        w: FrozenSet[Point],
+    ):
+        self.rd = rd
+        self._sets: Dict[str, FrozenSet[Point]] = {
+            "space": frozenset(space),
+            "p1": frozenset(p1),
+            "p2": frozenset(p2),
+            "p3": frozenset(p3),
+            "w": frozenset(w),
+        }
+        self._rows: Dict[str, np.ndarray] = {}
+        self._array_backed = False
+
+    @staticmethod
+    def from_arrays(
+        space: np.ndarray,
+        rd: FiniteRelation,
+        p1: np.ndarray,
+        p2: np.ndarray,
+        p3: np.ndarray,
+        w: np.ndarray,
+    ) -> "ThreeSetPartition":
+        """An array-backed partition: rows must be unique and lexicographically
+        sorted per set; the frozenset views stay unbuilt until asked for."""
+        part = ThreeSetPartition.__new__(ThreeSetPartition)
+        part.rd = rd
+        part._sets = {}
+        # Read-only: the frozenset views are lazily cached off these arrays,
+        # so an in-place edit through an alias must raise, not desync.
+        part._rows = {
+            "space": readonly_view(np.asarray(space, dtype=np.int64)),
+            "p1": readonly_view(np.asarray(p1, dtype=np.int64)),
+            "p2": readonly_view(np.asarray(p2, dtype=np.int64)),
+            "p3": readonly_view(np.asarray(p3, dtype=np.int64)),
+            "w": readonly_view(np.asarray(w, dtype=np.int64)),
+        }
+        part._array_backed = True
+        return part
+
+    def _set_view(self, name: str) -> FrozenSet[Point]:
+        got = self._sets.get(name)
+        if got is None:
+            got = self._sets[name] = _frozen_rows(self._rows[name])
+        return got
+
+    def _row_view(self, name: str) -> np.ndarray:
+        got = self._rows.get(name)
+        if got is None:
+            pts = sorted(self._sets[name])
+            dim = len(pts[0]) if pts else (self.rd.dim_in or 0)
+            got = self._rows[name] = readonly_view(
+                np.asarray(pts, dtype=np.int64).reshape(len(pts), dim)
+            )
+        return got
+
+    @property
+    def space(self) -> FrozenSet[Point]:
+        return self._set_view("space")
+
+    @property
+    def p1(self) -> FrozenSet[Point]:
+        return self._set_view("p1")
+
+    @property
+    def p2(self) -> FrozenSet[Point]:
+        return self._set_view("p2")
+
+    @property
+    def p3(self) -> FrozenSet[Point]:
+        return self._set_view("p3")
+
+    @property
+    def w(self) -> FrozenSet[Point]:
+        return self._set_view("w")
+
+    def p1_array(self) -> np.ndarray:
+        """P1 as lexicographically sorted ``(n, dim)`` rows (DOALL emission order)."""
+        return self._row_view("p1")
+
+    def p3_array(self) -> np.ndarray:
+        """P3 as lexicographically sorted ``(n, dim)`` rows (DOALL emission order)."""
+        return self._row_view("p3")
+
+    @property
+    def array_backed(self) -> bool:
+        """True when built by the vector engine — a fixed fact of construction,
+        not of which lazy views have been materialised since."""
+        return self._array_backed
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, ThreeSetPartition):
+            return NotImplemented
+        if self.rd != other.rd:
+            return False
+        for name in self._SETS:
+            mine, theirs = self._rows.get(name), other._rows.get(name)
+            if mine is not None and theirs is not None:
+                # Both array-backed (canonical rows): equal arrays prove equal
+                # sets without boxing; unequal arrays still need the set view
+                # (constructor-supplied rows may legally differ in order).
+                if np.array_equal(mine, theirs):
+                    continue
+            if self._set_view(name) != other._set_view(name):
+                return False
+        return True
+
+    def __hash__(self) -> int:
+        return hash((self.rd,) + tuple(self._set_view(name) for name in self._SETS))
+
+    def __repr__(self) -> str:
+        return "ThreeSetPartition(" + ", ".join(
+            f"|{name}|={self._size(name)}" for name in self._SETS
+        ) + ")"
+
+    def _size(self, name: str) -> int:
+        rows = self._rows.get(name)
+        if rows is not None:
+            return len(rows)
+        return len(self._sets[name])
 
     # -- classification views ----------------------------------------------------
 
@@ -129,11 +259,11 @@ class ThreeSetPartition:
 
     def counts(self) -> Dict[str, int]:
         return {
-            "space": len(self.space),
-            "P1": len(self.p1),
-            "P2": len(self.p2),
-            "P3": len(self.p3),
-            "W": len(self.w),
+            "space": self._size("space"),
+            "P1": self._size("p1"),
+            "P2": self._size("p2"),
+            "P3": self._size("p3"),
+            "W": self._size("w"),
             "independent": len(self.independent),
             "initial": len(self.initial),
         }
@@ -165,19 +295,21 @@ def _three_set_partition_vector(
     in_ran = in_sorted(phi_keys, ran_sorted)
     in_dom = in_sorted(phi_keys, dom_sorted)
     p1_mask = ~in_ran
-    p2_mask = in_ran & in_dom
+    p1_keys = np.unique(phi_keys[p1_mask])
     # W: targets of an edge whose source has no predecessor (is in P1).  Edge
     # targets are in ran by construction, so "dst ∈ P2" reduces to "dst ∈ dom".
-    w_edges = in_sorted(src_keys, np.unique(phi_keys[p1_mask])) & in_sorted(
-        dst_keys, dom_sorted
-    )
-    return ThreeSetPartition(
-        space=_frozen_rows(space_arr),
+    w_edges = in_sorted(src_keys, p1_keys) & in_sorted(dst_keys, dom_sorted)
+    # Every set is emitted as sorted unique keys decoded back to rows: key
+    # order equals lexicographic row order, so the arrays are canonical and
+    # the frozenset views can stay unbuilt (ThreeSetPartition derives them
+    # lazily only for set-path consumers).
+    return ThreeSetPartition.from_arrays(
+        space=codec.decode(phi_sorted),
         rd=relation,
-        p1=_frozen_rows(space_arr[p1_mask]),
-        p2=_frozen_rows(space_arr[p2_mask]),
-        p3=_frozen_rows(space_arr[in_ran & ~in_dom]),
-        w=_frozen_rows(codec.decode(np.unique(dst_keys[w_edges]))),
+        p1=codec.decode(p1_keys),
+        p2=codec.decode(np.unique(phi_keys[in_ran & in_dom])),
+        p3=codec.decode(np.unique(phi_keys[in_ran & ~in_dom])),
+        w=codec.decode(np.unique(dst_keys[w_edges])),
     )
 
 

@@ -42,7 +42,7 @@ from .chains import MonotonicChain, chains_from_recurrence, chains_from_relation
 from .dataflow import dataflow_partition, dataflow_schedule
 from .partition import ThreeSetPartition, three_set_partition
 from .recurrence import AffineRecurrence, iteration_space_diameter, theorem1_bound
-from .schedule import ExecutionUnit, Instance, ParallelPhase, Schedule
+from .schedule import ArrayPhase, ExecutionUnit, Instance, ParallelPhase, Schedule
 from .statement import StatementLevelSpace, build_statement_space
 
 __all__ = [
@@ -117,16 +117,31 @@ def three_phase_schedule(
     partition: ThreeSetPartition,
     chains: Sequence[MonotonicChain],
 ) -> Schedule:
-    """Build the P1 → chains → P3 schedule of the single-pair branch."""
+    """Build the P1 → chains → P3 schedule of the single-pair branch.
+
+    The fully parallel DOALL phases (P1, P3) of an array-backed partition
+    become :class:`~repro.core.schedule.ArrayPhase` views over the sorted row
+    arrays — same instances in the same order, no per-point unit boxing; the
+    chain phase keeps explicit multi-instance units (a WHILE chain is
+    inherently sequential and tuple-shaped).
+    """
     phases: List[ParallelPhase] = []
-    p1_units = tuple(ExecutionUnit.single(label, p) for p in sorted(partition.p1))
-    phases.append(ParallelPhase("P1 (independent + initial)", p1_units))
+    if partition.array_backed:
+        phases.append(
+            ArrayPhase("P1 (independent + initial)", label, partition.p1_array())
+        )
+    else:
+        p1_units = tuple(ExecutionUnit.single(label, p) for p in sorted(partition.p1))
+        phases.append(ParallelPhase("P1 (independent + initial)", p1_units))
     chain_units = tuple(
         ExecutionUnit.chain(label, list(chain.points)) for chain in chains
     )
     phases.append(ParallelPhase("P2 (recurrence chains)", chain_units))
-    p3_units = tuple(ExecutionUnit.single(label, p) for p in sorted(partition.p3))
-    phases.append(ParallelPhase("P3 (final)", p3_units))
+    if partition.array_backed:
+        phases.append(ArrayPhase("P3 (final)", label, partition.p3_array()))
+    else:
+        p3_units = tuple(ExecutionUnit.single(label, p) for p in sorted(partition.p3))
+        phases.append(ParallelPhase("P3 (final)", p3_units))
     return Schedule.from_phases(name, phases, scheme="recurrence-chains")
 
 

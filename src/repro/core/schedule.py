@@ -18,16 +18,26 @@ phase, barriers at the P1/P2 and P2/P3 borders).
 The runtime package consumes schedules to (a) validate them against the
 dependence relation and the sequential semantics and (b) estimate/measure
 speedups under a processor-count and overhead model.
+
+Large DOALL phases additionally have an **array-backed form**:
+:class:`ArrayPhase` holds its single-iteration units as one ``(n, dim)``
+int64 array of iteration points instead of ``n`` :class:`ExecutionUnit`
+objects, and :meth:`Schedule.from_arrays` builds a whole wavefront schedule
+from CSR-style ``(level_offsets, point_rows)`` arrays.  The tuple view
+(:attr:`ArrayPhase.units`) is derived lazily, so validators and the cost
+simulator work unchanged while the executors iterate the rows directly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
 
-from ..isl.relations import FiniteRelation
+import numpy as np
 
-__all__ = ["Instance", "ExecutionUnit", "ParallelPhase", "Schedule"]
+from ..isl.relations import FiniteRelation, readonly_view
+
+__all__ = ["Instance", "ExecutionUnit", "ParallelPhase", "ArrayPhase", "Schedule"]
 
 Point = Tuple[int, ...]
 #: A statement instance: (statement label, iteration vector).
@@ -95,6 +105,93 @@ class ParallelPhase:
         return out
 
 
+def validate_csr(level_offsets: np.ndarray, point_rows: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Validate and normalise CSR-style ``(level_offsets, point_rows)`` arrays.
+
+    Shared by :meth:`Schedule.from_arrays` and
+    :meth:`~repro.core.dataflow.DataflowPartition.from_arrays`; returns the
+    int64-normalised pair or raises :class:`ValueError`.
+    """
+    offsets = np.asarray(level_offsets, dtype=np.int64)
+    rows = np.asarray(point_rows, dtype=np.int64)
+    if offsets.ndim != 1 or len(offsets) == 0 or rows.ndim != 2:
+        raise ValueError(
+            "level_offsets must be a 1-D prefix-sum array and point_rows (n, dim)"
+        )
+    if offsets[0] != 0 or offsets[-1] != len(rows):
+        raise ValueError("level_offsets must start at 0 and end at len(point_rows)")
+    if (np.diff(offsets) < 0).any():
+        raise ValueError("level_offsets must be non-decreasing")
+    # Read-only: the containers cache tuple views derived from these arrays,
+    # so an in-place edit through any alias must raise, not desync.
+    return readonly_view(offsets), readonly_view(rows)
+
+
+class ArrayPhase:
+    """A DOALL phase whose units are the rows of an ``(n, dim)`` int64 array.
+
+    Semantically identical to a :class:`ParallelPhase` of ``n`` single-instance
+    units ``(label, row)`` — :attr:`units` materialises exactly that tuple
+    lazily, so every tuple-path consumer (validators, simulator, codegen)
+    works unchanged — but the executors recognise the class and iterate the
+    rows directly, skipping per-point :class:`ExecutionUnit` boxing.
+    """
+
+    __slots__ = ("name", "label", "points", "_units")
+
+    def __init__(self, name: str, label: str, points: np.ndarray):
+        self.name = name
+        self.label = label
+        pts = np.asarray(points, dtype=np.int64)
+        if pts.ndim != 2:
+            raise ValueError("ArrayPhase points must be an (n, dim) array")
+        # Stored read-only: the lazy `units` view caches tuples of this data.
+        self.points = readonly_view(pts)
+        self._units: Tuple[ExecutionUnit, ...] | None = None
+
+    @property
+    def units(self) -> Tuple[ExecutionUnit, ...]:
+        if self._units is None:
+            self._units = tuple(
+                ExecutionUnit.single(self.label, p) for p in self.points.tolist()
+            )
+        return self._units
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    @property
+    def work(self) -> int:
+        return len(self.points)
+
+    @property
+    def span(self) -> int:
+        return 1 if len(self.points) else 0
+
+    def instances(self) -> List[Instance]:
+        return [(self.label, tuple(p)) for p in self.points.tolist()]
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, ArrayPhase):
+            return (
+                self.name == other.name
+                and self.label == other.label
+                and np.array_equal(self.points, other.points)
+            )
+        if isinstance(other, ParallelPhase):
+            return self.name == other.name and self.units == other.units
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        # Must match ParallelPhase's dataclass hash: the two compare equal
+        # when (name, units) agree, so they have to hash alike too.  Hashing
+        # materialises the unit view; phases are rarely used as dict/set keys.
+        return hash((self.name, self.units))
+
+    def __repr__(self) -> str:
+        return f"ArrayPhase({self.name!r}, {self.label!r}, <{len(self)} points>)"
+
+
 @dataclass(frozen=True)
 class Schedule:
     """An ordered sequence of parallel phases separated by barriers."""
@@ -110,6 +207,31 @@ class Schedule:
         name: str, phases: Sequence[ParallelPhase], **meta
     ) -> "Schedule":
         return Schedule(name, tuple(p for p in phases if len(p) > 0), dict(meta))
+
+    @staticmethod
+    def from_arrays(
+        name: str,
+        label: str,
+        level_offsets: np.ndarray,
+        point_rows: np.ndarray,
+        phase_prefix: str = "wavefront",
+        **meta,
+    ) -> "Schedule":
+        """A wavefront schedule from CSR-style arrays, one :class:`ArrayPhase`
+        per level.
+
+        ``point_rows`` is the ``(total, dim)`` array of all iteration points
+        and ``level_offsets`` the ``(levels + 1,)`` prefix-sum array: level
+        ``k`` owns rows ``level_offsets[k]:level_offsets[k+1]``.  Empty levels
+        are dropped, mirroring :meth:`from_phases`.
+        """
+        offsets, rows = validate_csr(level_offsets, point_rows)
+        phases = []
+        for level in range(len(offsets) - 1):
+            chunk = rows[int(offsets[level]) : int(offsets[level + 1])]
+            if len(chunk):
+                phases.append(ArrayPhase(f"{phase_prefix}-{level}", label, chunk))
+        return Schedule(name, tuple(phases), dict(meta))
 
     @staticmethod
     def sequential(name: str, instances: Sequence[Instance]) -> "Schedule":

@@ -12,13 +12,14 @@
 * :mod:`repro.dependence.analysis` — the whole-program driver.
 """
 
-from .analysis import DependenceAnalysis, StatementPairDependence
+from .analysis import DependenceAnalysis, ImperfectNestError, StatementPairDependence
 from .distance import (
     PairClassification,
     classify_pair,
     direction_vectors,
     distance_vectors,
     is_uniform_relation,
+    is_uniform_relation_arrays,
 )
 from .exact import enumerate_domain, exact_pair_dependences, reference_addresses
 from .pair import ReferencePair
@@ -27,6 +28,7 @@ from .tests import DependenceTestResult, banerjee_test, combined_test, gcd_test
 
 __all__ = [
     "DependenceAnalysis",
+    "ImperfectNestError",
     "StatementPairDependence",
     "ReferencePair",
     "exact_pair_dependences",
@@ -41,6 +43,7 @@ __all__ = [
     "distance_vectors",
     "direction_vectors",
     "is_uniform_relation",
+    "is_uniform_relation_arrays",
     "classify_pair",
     "PairClassification",
 ]

@@ -16,31 +16,43 @@ consume:
 Results are cached; the analysis object is intended to be created once per
 (program, parameter binding) and passed around.
 
-For large concrete spaces the analysis feeds the vectorised partitioning
-engine: :attr:`DependenceAnalysis.iteration_space_array` exposes the
-enumerated space as an ``(n, depth)`` int64 array (no per-point tuple
-boxing), and the orientation of the combined relation switches to the bulk
-array path once it reaches
-:data:`~repro.isl.relations.BULK_SIZE_THRESHOLD` pairs (see
-:meth:`~repro.isl.relations.FiniteRelation.oriented_forward`).
+The analysis is **array-native end to end** for concrete spaces: the exact
+analyser joins address tables on sorted int64 keys and returns array-backed
+relations (:mod:`repro.dependence.exact`),
+:attr:`DependenceAnalysis.iteration_space_array` exposes the enumerated space
+as an ``(n, depth)`` int64 array (no per-point tuple boxing), the combined
+relation of :attr:`DependenceAnalysis.iteration_dependences` is built by
+array concatenation + ``np.unique`` instead of repeated frozenset unions, and
+the uniformity check runs on the array form.  ``engine="set"`` forces the
+original per-point set path everywhere (the two are equivalent and the tests
+compare them); ``engine="vector"`` refuses the hash-join fallback.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import cached_property
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
-from ..ir.program import LoopProgram, StatementContext
+from ..ir.program import LoopProgram
 from ..isl.relations import FiniteRelation, UnionRelation
 from .exact import enumerate_domain, exact_pair_dependences
 from .pair import ReferencePair
 from .symbolic import symbolic_dependence_relation
 from .distance import classify_pair, is_uniform_relation
 
-__all__ = ["DependenceAnalysis", "StatementPairDependence"]
+__all__ = ["DependenceAnalysis", "StatementPairDependence", "ImperfectNestError"]
+
+
+class ImperfectNestError(ValueError):
+    """The program is not a perfect nest, so no single iteration-level Rd exists.
+
+    A subclass of :class:`ValueError` (the exception historically raised), so
+    existing ``except ValueError`` callers keep working; :meth:`DependenceAnalysis.summary`
+    catches exactly this class and lets genuine errors propagate.
+    """
 
 
 @dataclass(frozen=True)
@@ -64,18 +76,34 @@ class StatementPairDependence:
 
 @dataclass
 class DependenceAnalysis:
-    """Exact dependence analysis of a loop program at concrete parameter values."""
+    """Exact dependence analysis of a loop program at concrete parameter values.
+
+    ``engine`` selects the representation strategy: ``"auto"`` (default) and
+    ``"vector"`` run the sort/merge address join and combine relations on the
+    array form; ``"set"`` reproduces the original per-point path (dict hash
+    join, frozenset unions) — both produce identical relations.
+    """
 
     program: LoopProgram
     params: Mapping[str, int] = field(default_factory=dict)
+    engine: str = "auto"
 
     def __post_init__(self):
+        if self.engine not in ("auto", "set", "vector"):
+            raise ValueError(
+                f"unknown engine {self.engine!r}; use 'auto', 'set' or 'vector'"
+            )
         missing = [p for p in self.program.parameters if p not in self.params]
         if missing:
             raise ValueError(
                 f"program {self.program.name!r} has unbound parameters {missing}; "
                 f"pass concrete values in params"
             )
+
+    @property
+    def _join_engine(self) -> str:
+        """The exact-analyser join engine implied by :attr:`engine`."""
+        return {"auto": "auto", "set": "hash", "vector": "sort"}[self.engine]
 
     # -- reference pairs --------------------------------------------------------
 
@@ -109,7 +137,9 @@ class DependenceAnalysis:
         """Exact direct dependences of every reference pair (source→target of eq. 2)."""
         out = []
         for pair in self.reference_pairs:
-            rel = exact_pair_dependences(pair, self.params, self.program.parameters)
+            rel = exact_pair_dependences(
+                pair, self.params, self.program.parameters, engine=self._join_engine
+            )
             out.append(StatementPairDependence(pair, rel))
         return out
 
@@ -122,19 +152,37 @@ class DependenceAnalysis:
 
         Every dependence pair is oriented from the lexicographically earlier to
         the later iteration; self-dependences (same iteration) are dropped.
-        Only valid when all statements share the same loop-index space.
+        Only valid when all statements share the same loop-index space; raises
+        :class:`ImperfectNestError` otherwise.
+
+        On the array path the per-pair relations are combined by concatenating
+        their ``(src, dst)`` arrays and deduplicating with ``np.unique`` — one
+        vectorised pass instead of one frozenset union per reference pair —
+        and the result stays array-backed through ``oriented_forward``.
         """
         contexts = self.program.statement_contexts()
         index_names = contexts[0].index_names if contexts else ()
         for ctx in contexts:
             if ctx.index_names != index_names:
-                raise ValueError(
+                raise ImperfectNestError(
                     "iteration_dependences requires a perfect nest; use the "
                     "statement-level extension (repro.core.statement) instead"
                 )
+        nonempty = [
+            dep.relation for dep in self.pair_dependences if not dep.relation.is_empty()
+        ]
+        if self.engine != "set" and nonempty:
+            arrays = [rel.as_arrays() for rel in nonempty]
+            combined = FiniteRelation.from_arrays(
+                np.concatenate([src for src, _ in arrays]),
+                np.concatenate([dst for _, dst in arrays]),
+            )
+            return combined.oriented_forward()
+        # Set path (engine="set", or nothing to combine): the original
+        # frozenset-union fold, kept as the measurable baseline.
         combined = FiniteRelation(frozenset(), len(index_names), len(index_names))
         for dep in self.pair_dependences:
-            combined = combined.union(dep.relation)
+            combined = FiniteRelation.from_pairs(combined.pairs | dep.relation.pairs)
         return combined.oriented_forward()
 
     @cached_property
@@ -188,18 +236,31 @@ class DependenceAnalysis:
         return None
 
     def is_uniform(self) -> bool:
-        """Exhaustive uniformity check of the combined relation (perfect nests)."""
-        return is_uniform_relation(self.iteration_dependences, self.iteration_space_points)
+        """Exhaustive uniformity check of the combined relation (perfect nests).
+
+        Runs on the array form (:func:`~repro.dependence.distance.is_uniform_relation_arrays`)
+        unless ``engine="set"`` forces the original per-point check.
+        """
+        if self.engine == "set":
+            return is_uniform_relation(
+                self.iteration_dependences, self.iteration_space_points
+            )
+        return is_uniform_relation(self.iteration_dependences, self.iteration_space_array)
 
     def has_dependences(self) -> bool:
         return any(not d.is_empty() for d in self.pair_dependences)
 
     def summary(self) -> Dict[str, object]:
-        """A small dict of headline facts, convenient for reports and tests."""
+        """A small dict of headline facts, convenient for reports and tests.
+
+        An imperfect nest has no single iteration-level relation — that is an
+        expected shape, reported as ``None`` entries.  Any other failure of
+        :attr:`iteration_dependences` is a genuine error and propagates.
+        """
         rel = None
         try:
             rel = self.iteration_dependences
-        except ValueError:
+        except ImperfectNestError:
             pass
         return {
             "program": self.program.name,

@@ -15,15 +15,18 @@ otherwise.  This module implements:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence, Set, Tuple
+from typing import Iterable, Set, Tuple, Union
 
-from ..isl.relations import FiniteRelation
+import numpy as np
+
+from ..isl.relations import FiniteRelation, PointCodec, in_sorted
 from .pair import ReferencePair
 
 __all__ = [
     "distance_vectors",
     "direction_vectors",
     "is_uniform_relation",
+    "is_uniform_relation_arrays",
     "classify_pair",
     "PairClassification",
 ]
@@ -44,7 +47,9 @@ def direction_vectors(relation: FiniteRelation) -> Set[Tuple[str, ...]]:
     return out
 
 
-def is_uniform_relation(relation: FiniteRelation, space_points: Iterable[Point]) -> bool:
+def is_uniform_relation(
+    relation: FiniteRelation, space_points: Union[np.ndarray, Iterable[Point]]
+) -> bool:
     """Exhaustive uniformity check (the definition in §2).
 
     ``relation`` must contain the *direct* dependences within the iteration
@@ -54,7 +59,16 @@ def is_uniform_relation(relation: FiniteRelation, space_points: Iterable[Point])
     Equivalently (and much cheaper): for every distance vector ``d`` in the
     relation, every point ``p`` with ``p+d`` in the space must satisfy
     ``(p, p+d) ∈ relation``.
+
+    ``space_points`` may be an ``(n, dim)`` int array, in which case the check
+    runs on the vectorised array form (:func:`is_uniform_relation_arrays`).
     """
+    if isinstance(space_points, np.ndarray):
+        try:
+            return is_uniform_relation_arrays(relation, space_points)
+        except ValueError:
+            # Key overflow or heterogeneous dims: per-point fallback below.
+            space_points = [tuple(p) for p in space_points.tolist()]
     points = set(tuple(p) for p in space_points)
     pair_set = set(relation.pairs)
     for d in relation.distances():
@@ -62,6 +76,52 @@ def is_uniform_relation(relation: FiniteRelation, space_points: Iterable[Point])
             q = tuple(x + y for x, y in zip(p, d))
             if q in points and (p, q) not in pair_set:
                 return False
+    return True
+
+
+def is_uniform_relation_arrays(relation: FiniteRelation, space: np.ndarray) -> bool:
+    """Uniformity check on the array form, no per-point Python objects.
+
+    Uses a counting argument equivalent to the definition: for a distance
+    ``d``, the relation's **in-space** pairs with that distance are always a
+    subset of the valid placements ``{(p, p+d) : p ∈ Φ, p+d ∈ Φ}``, so the
+    dependences are uniform iff for every distance appearing in the relation
+    the two cardinalities agree.  Pairs with an endpoint outside ``space``
+    contribute their distance but not their count — exactly matching the
+    per-point definition check.  Raises :class:`ValueError` when the point box
+    overflows int64 lexicographic keys.
+    """
+    space = np.asarray(space, dtype=np.int64)
+    if relation.is_empty():
+        return True
+    if relation.dim_in != relation.dim_out:
+        raise ValueError("uniformity requires a homogeneous relation")
+    if relation.dim_in == 0:
+        # Rank-0 space: the only possible pair is () -> (), trivially uniform.
+        return True
+    if len(space):
+        # The space is a *set* of points: duplicate rows must not inflate the
+        # valid-placement counts (the tuple path dedups via set()).
+        space = np.unique(space, axis=0)
+    src, dst = relation.as_arrays()
+    codec = PointCodec.for_arrays(space, src, dst)
+    space_keys = np.unique(codec.encode(space))
+    pair_in_space = in_sorted(codec.encode(src), space_keys) & in_sorted(
+        codec.encode(dst), space_keys
+    )
+    diffs = dst - src
+    have: dict = {}
+    if pair_in_space.any():
+        in_dists, in_counts = np.unique(
+            diffs[pair_in_space], axis=0, return_counts=True
+        )
+        have = dict(zip(map(tuple, in_dists.tolist()), in_counts.tolist()))
+    for d in np.unique(diffs, axis=0):
+        shifted = space + d
+        in_box = codec.contains(shifted)
+        valid = int(in_sorted(codec.encode(shifted[in_box]), space_keys).sum())
+        if valid != have.get(tuple(d.tolist()), 0):
+            return False
     return True
 
 

@@ -26,12 +26,20 @@ keys.  The vectorised partitioners in :mod:`repro.core` switch to this path
 when the iteration space or the relation exceeds
 :data:`BULK_SIZE_THRESHOLD` points/pairs; both paths are exact and produce
 identical results (the equivalence is covered by tests).
+
+The two representations are **lazily dual**: a relation built with
+:meth:`FiniteRelation.from_arrays` (the exact analyser's sort-join output,
+the bulk partitioners' restrictions) keeps only its canonical row arrays and
+derives the frozenset of tuple pairs the first time a set-path consumer
+touches :attr:`FiniteRelation.pairs`; a set-built relation conversely derives
+its arrays on the first bulk access.  See ARCHITECTURE.md for the
+pipeline-wide picture.
 """
 
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -48,6 +56,7 @@ __all__ = [
     "PointCodec",
     "SuccessorIndex",
     "in_sorted",
+    "readonly_view",
     "resolve_bulk_engine",
     "BULK_SIZE_THRESHOLD",
 ]
@@ -63,6 +72,20 @@ BULK_SIZE_THRESHOLD = 4096
 # ---------------------------------------------------------------------------
 # lexicographic row encoding
 # ---------------------------------------------------------------------------
+
+
+def readonly_view(arr: np.ndarray) -> np.ndarray:
+    """A read-only view of ``arr`` (the caller's own array keeps its flags).
+
+    The lazily-dual containers (:class:`FiniteRelation`, the partitions, the
+    array schedule phases) cache both an array and a derived tuple/frozenset
+    view of the same data; storing the array behind a read-only view makes an
+    accidental in-place edit — which would silently desync the cached views —
+    raise immediately instead.
+    """
+    view = arr.view()
+    view.setflags(write=False)
+    return view
 
 
 def in_sorted(keys: np.ndarray, sorted_keys: np.ndarray) -> np.ndarray:
@@ -373,13 +396,49 @@ class UnionRelation:
 # finite (explicit) relations
 # ---------------------------------------------------------------------------
 
-@dataclass(frozen=True)
 class FiniteRelation:
-    """An explicit finite relation: a set of (source, target) integer tuples."""
+    """An explicit finite relation: a set of (source, target) integer tuples.
 
-    pairs: FrozenSet[Pair] = frozenset()
-    dim_in: int = 0
-    dim_out: int = 0
+    The relation is immutable and has **two interchangeable representations**:
+
+    * a frozenset of ``(src_tuple, dst_tuple)`` pairs (:attr:`pairs`) — the
+      set path used by the small-problem engines and the validators,
+    * a pair of canonical ``(n, dim)`` int64 arrays (:meth:`as_arrays`) —
+      lexicographically row-sorted and duplicate-free — the bulk path used by
+      the vectorised engines.
+
+    Either representation is derived lazily from the other the first time it
+    is asked for and then cached: relations built with :meth:`from_arrays`
+    never box their points into Python tuples unless a set-path consumer
+    actually touches :attr:`pairs`, and set-built relations only materialise
+    arrays when a bulk consumer calls :meth:`as_arrays`.  Equality, iteration
+    order, hashing and every query are representation-independent.
+    """
+
+    __slots__ = ("_pairs", "_arrays", "dim_in", "dim_out")
+
+    def __init__(
+        self,
+        pairs: Iterable[Pair] = frozenset(),
+        dim_in: int = 0,
+        dim_out: int = 0,
+    ):
+        self._pairs: Optional[FrozenSet[Pair]] = (
+            pairs if isinstance(pairs, frozenset) else frozenset(pairs)
+        )
+        self._arrays: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self.dim_in = dim_in
+        self.dim_out = dim_out
+
+    @property
+    def pairs(self) -> FrozenSet[Pair]:
+        """The pair set — materialised on first access for array-built relations."""
+        if self._pairs is None:
+            src, dst = self._arrays
+            self._pairs = frozenset(
+                zip(map(tuple, src.tolist()), map(tuple, dst.tolist()))
+            )
+        return self._pairs
 
     @staticmethod
     def from_pairs(pairs: Iterable[Pair]) -> "FiniteRelation":
@@ -392,15 +451,60 @@ class FiniteRelation:
 
     @staticmethod
     def from_arrays(src: np.ndarray, dst: np.ndarray) -> "FiniteRelation":
-        """Build a relation from parallel ``(n, dim_in)``/``(n, dim_out)`` arrays."""
+        """Build a relation from parallel ``(n, dim_in)``/``(n, dim_out)`` arrays.
+
+        The arrays are canonicalised (row-sorted by ``(src, dst)``,
+        duplicates merged) with numpy; the tuple-pair view stays unbuilt until
+        a set-path consumer asks for :attr:`pairs`.
+        """
         src = np.asarray(src, dtype=np.int64)
         dst = np.asarray(dst, dtype=np.int64)
         if src.ndim != 2 or dst.ndim != 2 or len(src) != len(dst):
             raise ValueError("src and dst must be 2-D arrays with equal length")
-        pairs = frozenset(
-            (tuple(a), tuple(b)) for a, b in zip(src.tolist(), dst.tolist())
+        dim_in, dim_out = src.shape[1], dst.shape[1]
+        if len(src) == 0:
+            return FiniteRelation(frozenset(), dim_in, dim_out)
+        if dim_in + dim_out == 0:
+            # Rank-0 on both sides: the only possible pair is () -> ().
+            return FiniteRelation(frozenset({((), ())}), 0, 0)
+        combined = np.unique(np.concatenate([src, dst], axis=1), axis=0)
+        return FiniteRelation._from_canonical_arrays(
+            np.ascontiguousarray(combined[:, :dim_in]),
+            np.ascontiguousarray(combined[:, dim_in:]),
         )
-        return FiniteRelation(pairs, src.shape[1], dst.shape[1])
+
+    @staticmethod
+    def _from_canonical_arrays(src: np.ndarray, dst: np.ndarray) -> "FiniteRelation":
+        """Wrap arrays already in canonical form (row-sorted, duplicate-free)."""
+        rel = FiniteRelation.__new__(FiniteRelation)
+        rel._pairs = None
+        rel._arrays = (readonly_view(src), readonly_view(dst))
+        rel.dim_in = src.shape[1]
+        rel.dim_out = dst.shape[1]
+        return rel
+
+    # -- equality / hashing (representation-independent) ----------------------
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, FiniteRelation):
+            return NotImplemented
+        if self.dim_in != other.dim_in or self.dim_out != other.dim_out:
+            return False
+        if self._pairs is None and other._pairs is None:
+            # Both array-backed: canonical form makes this a direct compare.
+            a, b = self._arrays
+            c, d = other._arrays
+            return np.array_equal(a, c) and np.array_equal(b, d)
+        return self.pairs == other.pairs
+
+    def __hash__(self) -> int:
+        return hash((self.pairs, self.dim_in, self.dim_out))
+
+    def __repr__(self) -> str:
+        return (
+            f"FiniteRelation(<{len(self)} pairs>, dim_in={self.dim_in}, "
+            f"dim_out={self.dim_out})"
+        )
 
     # -- array-backed bulk path ----------------------------------------------
 
@@ -410,8 +514,7 @@ class FiniteRelation:
         The arrays are computed once and cached on the instance (the relation
         is immutable); they are the entry point of the vectorised bulk path.
         """
-        cached = self.__dict__.get("_as_arrays")
-        if cached is None:
+        if self._arrays is None:
             pairs = sorted(self.pairs)
             src = np.array([a for a, _ in pairs], dtype=np.int64).reshape(
                 len(pairs), self.dim_in
@@ -419,10 +522,8 @@ class FiniteRelation:
             dst = np.array([b for _, b in pairs], dtype=np.int64).reshape(
                 len(pairs), self.dim_out
             )
-            cached = (src, dst)
-            # frozen dataclass: write the cache directly into __dict__
-            self.__dict__["_as_arrays"] = cached
-        return cached
+            self._arrays = (readonly_view(src), readonly_view(dst))
+        return self._arrays
 
     def codec(self, *extra: Optional[np.ndarray]) -> PointCodec:
         """A :class:`PointCodec` covering dom ∪ ran plus any extra point arrays.
@@ -463,12 +564,15 @@ class FiniteRelation:
             mask &= in_sorted(codec.encode(dst), rng_keys)
         if mask.all():
             return self
-        return FiniteRelation.from_arrays(src[mask], dst[mask])
+        # A masked subset of canonical (sorted, unique) arrays stays canonical.
+        return FiniteRelation._from_canonical_arrays(src[mask], dst[mask])
 
     # -- basic queries --------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self.pairs)
+        if self._pairs is None:
+            return len(self._arrays[0])
+        return len(self._pairs)
 
     def __iter__(self):
         return iter(sorted(self.pairs))
@@ -477,7 +581,7 @@ class FiniteRelation:
         return (tuple(pair[0]), tuple(pair[1])) in self.pairs
 
     def is_empty(self) -> bool:
-        return not self.pairs
+        return len(self) == 0
 
     def domain(self) -> FrozenSet[Point]:
         return frozenset(a for a, _ in self.pairs)
@@ -497,6 +601,23 @@ class FiniteRelation:
         )
 
     def union(self, other: "FiniteRelation") -> "FiniteRelation":
+        if self.is_empty() and other.is_empty():
+            return FiniteRelation.from_pairs(frozenset())
+        if self.is_empty():
+            return other
+        if other.is_empty():
+            return self
+        if (self.dim_in, self.dim_out) == (other.dim_in, other.dim_out) and (
+            self._pairs is None
+            or other._pairs is None
+            or max(len(self), len(other)) >= BULK_SIZE_THRESHOLD
+        ):
+            # Array path: concatenate and re-canonicalise without tuple boxing.
+            s1, d1 = self.as_arrays()
+            s2, d2 = other.as_arrays()
+            return FiniteRelation.from_arrays(
+                np.concatenate([s1, s2]), np.concatenate([d1, d2])
+            )
         return FiniteRelation.from_pairs(self.pairs | other.pairs)
 
     def restrict(self, domain: Optional[Set[Point]] = None, rng: Optional[Set[Point]] = None) -> "FiniteRelation":
@@ -580,12 +701,15 @@ class FiniteRelation:
         """Re-orient every pair so the source lexicographically precedes the target.
 
         Self-pairs (``a == b``) are dropped: a dependence of an iteration on
-        itself does not constrain the parallel schedule.  Relations with at
-        least :data:`BULK_SIZE_THRESHOLD` pairs are re-oriented on the array
-        path: key order equals lexicographic order, so the comparison and the
-        swap are a handful of vectorised operations.
+        itself does not constrain the parallel schedule.  Array-backed
+        relations and relations with at least :data:`BULK_SIZE_THRESHOLD`
+        pairs are re-oriented on the array path: key order equals
+        lexicographic order, so the comparison and the swap are a handful of
+        vectorised operations (and the result stays array-backed).
         """
-        if len(self.pairs) >= BULK_SIZE_THRESHOLD and self.dim_in == self.dim_out:
+        if (
+            self._pairs is None or len(self) >= BULK_SIZE_THRESHOLD
+        ) and self.dim_in == self.dim_out:
             src, dst = self.as_arrays()
             try:
                 codec = PointCodec.for_arrays(src, dst)
@@ -608,6 +732,9 @@ class FiniteRelation:
 
     def distances(self) -> Set[Point]:
         """The set of distance vectors ``target - source``."""
+        if self._pairs is None and self.dim_in == self.dim_out and self.dim_in > 0:
+            src, dst = self._arrays
+            return set(map(tuple, np.unique(dst - src, axis=0).tolist()))
         return {tuple(y - x for x, y in zip(a, b)) for a, b in self.pairs}
 
     def __str__(self) -> str:

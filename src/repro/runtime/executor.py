@@ -25,7 +25,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..core.schedule import Instance, Schedule
+from ..core.schedule import ArrayPhase, Instance, Schedule
 from ..ir.nodes import Statement
 from ..ir.program import LoopProgram
 from ..ir.semantics import DEFAULT_SEMANTICS
@@ -106,19 +106,38 @@ def execute_schedule(
     params: Mapping[str, int] | None = None,
     store: Optional[ArrayStore] = None,
     seed: Optional[int] = 0,
+    rng: Optional[random.Random] = None,
 ) -> ArrayStore:
     """Run a partitioned schedule phase by phase; returns the final store.
 
-    Within each phase the units are executed in a shuffled order (seeded for
-    reproducibility) to emulate an arbitrary interleaving of the parallel
-    units; inside a unit the instance order is preserved.
+    Within each phase the units are executed in a shuffled order to emulate an
+    arbitrary interleaving of the parallel units; inside a unit the instance
+    order is preserved.  The shuffle draws from a private ``random.Random``
+    (never the global module state): pass ``rng`` to supply your own generator
+    — fully reproducible and side-effect-free — or ``seed`` to have one
+    created; ``seed=None`` with no ``rng`` disables shuffling (phase order as
+    built).
+
+    :class:`~repro.core.schedule.ArrayPhase` phases are executed directly off
+    their ``(n, dim)`` point array — no per-point unit objects are built.
     """
     store = store if store is not None else make_store(program)
     contexts = {ctx.statement.label: ctx for ctx in program.statement_contexts()}
-    rng = random.Random(seed)
+    shuffle = rng is not None or seed is not None
+    if rng is None:
+        rng = random.Random(seed)
     for phase in schedule.phases:
+        if isinstance(phase, ArrayPhase):
+            ctx = contexts[phase.label]
+            rows = phase.points.tolist()
+            if shuffle:
+                rng.shuffle(rows)
+            stmt, index_names = ctx.statement, ctx.index_names
+            for row in rows:
+                _execute_instance(stmt, row, index_names, store)
+            continue
         units = list(phase.units)
-        if seed is not None:
+        if shuffle:
             rng.shuffle(units)
         for unit in units:
             for label, iteration in unit.instances:

@@ -36,7 +36,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..core.schedule import Schedule
+from ..core.schedule import ArrayPhase, Schedule
 from ..ir.program import LoopProgram
 from ..ir.semantics import DEFAULT_SEMANTICS
 from .executor import ArrayStore, make_store
@@ -100,6 +100,37 @@ def _run_units(
     return executed
 
 
+def _run_rows(
+    label: str,
+    rows: np.ndarray,
+    contexts,
+    store,
+    locks: Optional[Mapping[str, threading.Lock]] = None,
+) -> int:
+    """Worker body for an :class:`ArrayPhase` slice: iterate the point rows
+    directly (no unit objects); returns the instance count."""
+    ctx = contexts[label]
+    stmt = ctx.statement
+    index_names = ctx.index_names
+    arrays = (
+        sorted({ref.array for ref in stmt.reads} | {ref.array for ref in stmt.writes})
+        if locks is not None
+        else None
+    )
+    executed = 0
+    for row in rows.tolist():
+        env = dict(zip(index_names, row))
+        if locks is None:
+            _execute_instance(stmt, env, store)
+        else:
+            with ExitStack() as stack:
+                for name in arrays:
+                    stack.enter_context(locks[name])
+                _execute_instance(stmt, env, store)
+        executed += 1
+    return executed
+
+
 def execute_schedule_threaded(
     program: LoopProgram,
     schedule: Schedule,
@@ -122,15 +153,26 @@ def execute_schedule_threaded(
     instances = 0
     with ThreadPoolExecutor(max_workers=n_threads) as pool:
         for phase in schedule.phases:
-            units = list(phase.units)
-            # Round-robin the units across workers: deterministic distribution,
-            # arbitrary execution interleaving.
-            slices: List[List] = [units[k::n_threads] for k in range(n_threads)]
-            futures = [
-                pool.submit(_run_units, s, contexts, store, locks)
-                for s in slices
-                if s
-            ]
+            if isinstance(phase, ArrayPhase):
+                # Array phases: round-robin the point rows themselves — each
+                # worker gets a strided view, no unit objects are built.
+                futures = [
+                    pool.submit(_run_rows, phase.label, rows, contexts, store, locks)
+                    for rows in (
+                        phase.points[k::n_threads] for k in range(n_threads)
+                    )
+                    if len(rows)
+                ]
+            else:
+                units = list(phase.units)
+                # Round-robin the units across workers: deterministic
+                # distribution, arbitrary execution interleaving.
+                slices: List[List] = [units[k::n_threads] for k in range(n_threads)]
+                futures = [
+                    pool.submit(_run_units, s, contexts, store, locks)
+                    for s in slices
+                    if s
+                ]
             # The implicit barrier: wait for every worker before the next phase.
             for f in futures:
                 instances += f.result()

@@ -42,6 +42,7 @@ __all__ = [
     "random_coupled_loop",
     "generate_corpus_programs",
     "large_uniform_loop",
+    "large_triangular_loop",
     "scale_partition_case",
 ]
 
@@ -170,6 +171,31 @@ def large_uniform_loop(n1: int, n2: int, name: str = "large-uniform") -> LoopPro
         name,
         loop("I1", 1, n1, loop("I2", 1, n2, body)),
         array_shapes={"x": (n1 + 2, n2 + 2)},
+    )
+
+
+def large_triangular_loop(n: int, name: str = "large-triangular") -> LoopProgram:
+    """A triangular 2-D nest with one uniform pair, usable at very large bounds.
+
+        DO I1 = 1, n
+          DO I2 = 1, I1
+            x(I1+1, I2+1) = x(I1, I2)
+
+    The iteration space has ``n·(n+1)/2`` points (``n = 447`` is the smallest
+    bound reaching 10⁵), and
+    the inner bound depends on the outer index, so the exact analyser's
+    **non-rectangular path** — bounding-box enumeration + constraint filtering
+    followed by the address join — is exercised at scale, unlike
+    :func:`large_uniform_loop` whose domains are dense boxes.  The single flow
+    dependence ``(i1, i2) -> (i1+1, i2+1)`` never leaves the triangle
+    (``i2 ≤ i1`` implies ``i2+1 ≤ i1+1``), so every interior point is both a
+    source and a target.
+    """
+    body = assign("s", aref("x", "I1+1", "I2+1"), [aref("x", "I1", "I2")])
+    return program(
+        name,
+        loop("I1", 1, n, loop("I2", 1, "I1", body)),
+        array_shapes={"x": (n + 2, n + 2)},
     )
 
 

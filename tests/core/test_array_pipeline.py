@@ -1,0 +1,277 @@
+"""End-to-end equivalence of the array-native pipeline with the set pipeline.
+
+PR 1 proved the partitioning *engines* equivalent (test_bulk_equivalence);
+this module proves the whole pipeline equivalent: program → exact Rd
+(hash join vs sort join) → three-set / dataflow partition → schedule
+(tuple phases vs :class:`ArrayPhase`) → execution.  For every example
+workload both paths must produce bit-identical P1/P2/P3/W sets, wavefronts,
+per-phase instances and :func:`validate_schedule` results.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.pipelines import (
+    pipeline_mismatches,
+    run_array_pipeline,
+    run_set_pipeline,
+)
+from repro.core.dataflow import DataflowPartition, dataflow_partition, dataflow_schedule
+from repro.core.partition import three_set_partition
+from repro.core.partitioner import recurrence_chain_partition
+from repro.core.schedule import ArrayPhase, ParallelPhase, Schedule
+from repro.dependence.analysis import DependenceAnalysis
+from repro.isl.relations import FiniteRelation
+from repro.runtime.executor import execute_schedule, execute_sequential, validate_schedule
+from repro.runtime.threaded import execute_schedule_threaded
+from repro.workloads.examples import example2_loop, figure1_loop, figure2_loop
+from repro.workloads.synthetic import large_triangular_loop, large_uniform_loop
+
+PROGRAMS = [
+    figure1_loop(12, 12),
+    figure2_loop(20),
+    example2_loop(12),
+    large_uniform_loop(15, 11),
+    large_triangular_loop(14),
+]
+PROGRAM_IDS = [p.name for p in PROGRAMS]
+
+
+class TestPipelineEquivalence:
+    @pytest.mark.parametrize("prog", PROGRAMS, ids=PROGRAM_IDS)
+    def test_pipelines_bit_identical(self, prog):
+        set_run = run_set_pipeline(prog)
+        array_run = run_array_pipeline(prog)
+        assert pipeline_mismatches(set_run, array_run) == []
+        assert array_run.partition == set_run.partition
+        assert array_run.partition.counts() == set_run.partition.counts()
+        assert array_run.partition.is_complete()
+        assert array_run.partition.respects_phase_order()
+        for pa, ps in zip(array_run.schedule.phases, set_run.schedule.phases):
+            assert (len(pa), pa.work, pa.span) == (len(ps), ps.work, ps.span)
+
+    @pytest.mark.parametrize("prog", PROGRAMS, ids=PROGRAM_IDS)
+    def test_wavefronts_identical(self, prog):
+        analysis = DependenceAnalysis(prog, {})
+        rd = analysis.iteration_dependences
+        waves_s = dataflow_partition(analysis.iteration_space_points, rd, engine="set")
+        waves_a = dataflow_partition(analysis.iteration_space_array, rd, engine="vector")
+        assert waves_a.wavefronts == waves_s.wavefronts
+        assert waves_a == waves_s
+
+    @pytest.mark.parametrize("prog", PROGRAMS, ids=PROGRAM_IDS)
+    def test_validation_results_identical(self, prog):
+        set_run = run_set_pipeline(prog)
+        array_run = run_array_pipeline(prog)
+        rep_s = validate_schedule(prog, set_run.schedule, {}, dependences=set_run.rd)
+        rep_a = validate_schedule(prog, array_run.schedule, {}, dependences=array_run.rd)
+        assert rep_a.ok and rep_s.ok
+        assert (
+            rep_a.covers_all_instances,
+            rep_a.respects_dependences,
+            rep_a.arrays_match,
+            rep_a.mismatched_arrays,
+        ) == (
+            rep_s.covers_all_instances,
+            rep_s.respects_dependences,
+            rep_s.arrays_match,
+            rep_s.mismatched_arrays,
+        )
+
+    @pytest.mark.parametrize("prog", PROGRAMS, ids=PROGRAM_IDS)
+    def test_threaded_execution_matches_sequential(self, prog):
+        sched_a = run_array_pipeline(prog).schedule
+        assert any(isinstance(p, ArrayPhase) for p in sched_a.phases)
+        run = execute_schedule_threaded(prog, sched_a, n_threads=3)
+        reference = execute_sequential(prog, {})
+        for name in reference:
+            assert np.array_equal(reference[name], run.store[name])
+        assert run.instances_executed == sum(len(p.points) for p in sched_a.phases)
+
+
+class TestArrayBackedPartitionViews:
+    def test_vector_partition_stays_lazy_for_array_consumers(self):
+        prog = large_uniform_loop(20, 15)
+        analysis = DependenceAnalysis(prog, {}, engine="vector")
+        rd = analysis.iteration_dependences
+        part = three_set_partition(analysis.iteration_space_array, rd, engine="vector")
+        assert part.array_backed
+        assert part._sets == {}  # nothing materialised yet
+        sched = dataflow_partition(analysis.iteration_space_array, rd, engine="vector")
+        assert sched.array_backed
+        assert sched._wavefronts is None
+        # Touching a set view materialises only that view.
+        _ = part.p1
+        assert "p1" in part._sets and "p2" not in part._sets
+
+    def test_level_arrays_round_trip(self):
+        prog = large_triangular_loop(12)
+        analysis = DependenceAnalysis(prog, {})
+        rd = analysis.iteration_dependences
+        set_part = dataflow_partition(analysis.iteration_space_points, rd, engine="set")
+        vec_part = dataflow_partition(analysis.iteration_space_array, rd, engine="vector")
+        off_s, rows_s = set_part.level_arrays()
+        off_v, rows_v = vec_part.level_arrays()
+        assert np.array_equal(off_s, off_v)
+        assert np.array_equal(rows_s, rows_v)
+        assert set_part.level_sizes() == vec_part.level_sizes()
+        rebuilt = DataflowPartition.from_arrays(off_v, rows_v, rd)
+        assert rebuilt.wavefronts == set_part.wavefronts
+        assert rebuilt == set_part
+
+    def test_level_arrays_with_empty_leading_wavefront(self):
+        # A constructor-built partition may hold empty waves; the dimension
+        # must come from the first non-empty one (or the relation).
+        rd = FiniteRelation(frozenset(), 2, 2)
+        part = DataflowPartition((frozenset(), frozenset({(1, 2)})), rd)
+        offsets, rows = part.level_arrays()
+        assert offsets.tolist() == [0, 0, 1]
+        assert rows.tolist() == [[1, 2]]
+        all_empty = DataflowPartition((frozenset(),), rd)
+        offsets, rows = all_empty.level_arrays()
+        assert offsets.tolist() == [0, 0] and rows.shape == (0, 2)
+
+    def test_from_arrays_validates_offsets(self):
+        rd = DependenceAnalysis(figure2_loop(6), {}).iteration_dependences
+        rows = np.array([[1], [2], [3]], dtype=np.int64)
+        with pytest.raises(ValueError):
+            DataflowPartition.from_arrays(np.array([0, 2]), rows, rd)
+        with pytest.raises(ValueError):
+            DataflowPartition.from_arrays(np.array([1, 3]), rows, rd)
+
+
+class TestRecurrenceChainArrayPhases:
+    def test_large_single_pair_program_gets_array_doall_phases(self):
+        prog = large_uniform_loop(80, 80)  # 6400 points: above the threshold
+        result = recurrence_chain_partition(prog)
+        assert result.scheme == "recurrence-chains"
+        kinds = [type(p) for p in result.schedule.phases]
+        assert ArrayPhase in kinds  # P1/P3 emitted as array views
+        report = validate_schedule(
+            prog,
+            result.schedule,
+            {},
+            dependences=result.analysis.iteration_dependences,
+        )
+        assert report.ok and report.respects_dependences
+
+    def test_small_program_keeps_tuple_phases_and_matches(self):
+        prog = figure1_loop(10, 10)
+        result = recurrence_chain_partition(prog)
+        assert all(isinstance(p, ParallelPhase) for p in result.schedule.phases)
+        report = validate_schedule(
+            prog,
+            result.schedule,
+            {},
+            dependences=result.analysis.iteration_dependences,
+        )
+        assert report.ok
+
+
+class TestScheduleFromArrays:
+    def make(self):
+        rows = np.array([[1, 1], [1, 2], [2, 1], [2, 2], [3, 3]], dtype=np.int64)
+        offsets = np.array([0, 2, 4, 5], dtype=np.int64)
+        return Schedule.from_arrays("s", "stmt", offsets, rows, scheme="dataflow")
+
+    def test_structure_and_metrics(self):
+        sched = self.make()
+        assert sched.num_phases == 3
+        assert [p.name for p in sched.phases] == [
+            "wavefront-0",
+            "wavefront-1",
+            "wavefront-2",
+        ]
+        assert sched.total_work == 5
+        assert sched.span == 3
+        assert sched.max_parallelism == 2
+        assert sched.meta["scheme"] == "dataflow"
+
+    def test_units_are_lazy_and_equivalent(self):
+        sched = self.make()
+        phase = sched.phases[0]
+        assert phase._units is None
+        tuple_phase = ParallelPhase("wavefront-0", phase.units)
+        assert phase == tuple_phase
+        assert hash(phase) == hash(tuple_phase)  # eq/hash contract across kinds
+        assert phase.instances() == tuple_phase.instances()
+
+    def test_empty_levels_dropped(self):
+        rows = np.array([[1], [2]], dtype=np.int64)
+        offsets = np.array([0, 0, 2, 2], dtype=np.int64)
+        sched = Schedule.from_arrays("s", "stmt", offsets, rows)
+        assert sched.num_phases == 1
+        assert sched.phases[0].name == "wavefront-1"
+
+    def test_bad_offsets_rejected(self):
+        rows = np.array([[1], [2]], dtype=np.int64)
+        with pytest.raises(ValueError):
+            Schedule.from_arrays("s", "stmt", np.array([0, 1]), rows)
+        with pytest.raises(ValueError):
+            Schedule.from_arrays("s", "stmt", np.array([1, 2]), rows)
+        with pytest.raises(ValueError):  # non-monotonic: would replay rows
+            Schedule.from_arrays("s", "stmt", np.array([0, 2, 1, 2]), rows)
+
+    def test_executor_handles_mixed_phase_kinds(self):
+        prog = figure2_loop(20)
+        analysis = DependenceAnalysis(prog, {})
+        rd = analysis.iteration_dependences
+        arr_sched = dataflow_schedule(
+            prog.name, analysis.iteration_space_array, rd, engine="vector"
+        )
+        tup_sched = dataflow_schedule(
+            prog.name, analysis.iteration_space_points, rd, engine="set"
+        )
+        mixed = Schedule(
+            "mixed", (arr_sched.phases[0],) + tup_sched.phases[1:], {}
+        )
+        result = execute_schedule(prog, mixed, {})
+        reference = execute_sequential(prog, {})
+        for name in reference:
+            assert np.array_equal(reference[name], result[name])
+
+
+class TestArrayBackedIsConstructionFact:
+    def test_accessors_do_not_flip_array_backed(self):
+        prog = figure2_loop(20)
+        analysis = DependenceAnalysis(prog, {})
+        rd = analysis.iteration_dependences
+        part = three_set_partition(analysis.iteration_space_points, rd, engine="set")
+        assert not part.array_backed
+        part.p1_array(), part.p3_array()  # inspection must not change behavior
+        assert not part.array_backed
+        waves = dataflow_partition(analysis.iteration_space_points, rd, engine="set")
+        assert not waves.array_backed
+        waves.level_arrays()
+        assert not waves.array_backed
+
+    def test_uniformity_ignores_duplicate_space_rows(self):
+        from repro.dependence.distance import is_uniform_relation
+
+        rel = FiniteRelation.from_pairs([((0, 0), (1, 1))])
+        points = [(0, 0), (0, 0), (1, 1)]
+        assert is_uniform_relation(rel, points) == is_uniform_relation(
+            rel, np.array(points, dtype=np.int64)
+        )
+
+    def test_stored_arrays_are_read_only(self):
+        # The lazy tuple views cache data derived from the stored arrays; an
+        # in-place edit through any alias must raise, never silently desync.
+        prog = figure2_loop(20)
+        analysis = DependenceAnalysis(prog, {})
+        rd = analysis.iteration_dependences
+        sched = dataflow_schedule(
+            prog.name, analysis.iteration_space_array, rd, engine="vector"
+        )
+        phase = sched.phases[0]
+        _ = phase.units  # materialise the tuple view
+        with pytest.raises(ValueError):
+            phase.points[0, 0] = 999
+        part = three_set_partition(
+            analysis.iteration_space_array, rd, engine="vector"
+        )
+        with pytest.raises(ValueError):
+            part.p1_array()[0, 0] = 999
+        src, dst = rd.as_arrays()
+        with pytest.raises(ValueError):
+            src[0, 0] = 999

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.dependence.analysis import DependenceAnalysis
+from repro.dependence.analysis import DependenceAnalysis, ImperfectNestError
 from repro.workloads.examples import (
     cholesky_loop,
     example2_loop,
@@ -61,3 +61,60 @@ class TestDriver:
         analysis = DependenceAnalysis(figure1_loop(6, 6), {})
         assert analysis.iteration_dependences is analysis.iteration_dependences
         assert analysis.reference_pairs is analysis.reference_pairs
+
+
+class TestSummaryErrorHandling:
+    """summary() reports None for imperfect nests, re-raises genuine errors."""
+
+    def test_imperfect_nest_reports_none_fields(self):
+        analysis = DependenceAnalysis(example3_loop(40), {})
+        with pytest.raises(ImperfectNestError):
+            _ = analysis.iteration_dependences
+        s = analysis.summary()
+        assert s["n_direct_dependences"] is None
+        assert s["uniform"] is None
+        assert s["n_reference_pairs"] > 0
+
+    def test_imperfect_nest_error_is_a_value_error(self):
+        # Existing `except ValueError` callers must keep working.
+        assert issubclass(ImperfectNestError, ValueError)
+
+    def test_genuine_error_propagates(self, monkeypatch):
+        import repro.dependence.analysis as analysis_module
+
+        def boom(*args, **kwargs):
+            raise ValueError("address table corrupted")
+
+        monkeypatch.setattr(analysis_module, "exact_pair_dependences", boom)
+        analysis = DependenceAnalysis(figure1_loop(6, 6), {})
+        with pytest.raises(ValueError, match="address table corrupted"):
+            analysis.summary()
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            DependenceAnalysis(figure1_loop(6, 6), {}, engine="gpu")
+
+
+class TestEngineEquivalence:
+    """engine='set' and engine='vector' must produce identical analyses."""
+
+    @pytest.mark.parametrize(
+        "prog",
+        [figure1_loop(10, 10), figure2_loop(20), example2_loop(12)],
+        ids=lambda p: p.name,
+    )
+    def test_summaries_identical(self, prog):
+        set_an = DependenceAnalysis(prog, {}, engine="set")
+        vec_an = DependenceAnalysis(prog, {}, engine="vector")
+        assert set_an.summary() == vec_an.summary()
+        assert set_an.iteration_dependences == vec_an.iteration_dependences
+        assert set_an.is_uniform() == vec_an.is_uniform()
+
+    def test_uniform_program_agrees(self):
+        from repro.workloads.synthetic import large_uniform_loop
+
+        prog = large_uniform_loop(12, 9)
+        set_an = DependenceAnalysis(prog, {}, engine="set")
+        vec_an = DependenceAnalysis(prog, {}, engine="vector")
+        assert set_an.is_uniform() is True
+        assert vec_an.is_uniform() is True

@@ -82,3 +82,55 @@ class TestClassifyPair:
         c = classify_pair(pair)
         assert c.uniform_by_matrix
         assert not c.non_uniform_candidate
+
+
+class TestArrayUniformityCheck:
+    """is_uniform_relation must answer identically for tuple and array spaces."""
+
+    def both(self, relation, points):
+        import numpy as np
+
+        as_tuples = is_uniform_relation(relation, points)
+        as_array = is_uniform_relation(
+            relation, np.asarray(points, dtype=np.int64).reshape(len(points), -1)
+        )
+        assert as_tuples == as_array
+        return as_tuples
+
+    def test_uniform_relation(self):
+        space = [(i, j) for i in range(4) for j in range(4)]
+        rel = FiniteRelation.from_pairs(
+            [((i, j), (i + 1, j + 1)) for i in range(3) for j in range(3)]
+        )
+        assert self.both(rel, space) is True
+
+    def test_non_uniform_relation(self):
+        space = [(i, j) for i in range(4) for j in range(4)]
+        rel = FiniteRelation.from_pairs([((0, 0), (1, 1))])  # (2,2)->(3,3) missing
+        assert self.both(rel, space) is False
+
+    def test_out_of_space_endpoints_agree(self):
+        # A pair entirely outside the space contributes its distance but no
+        # in-space placement: both representations must say "not uniform"
+        # when an in-space placement of that distance is missing.
+        space = [(0, 0), (1, 1)]
+        outside_only = FiniteRelation.from_pairs([((5, 5), (6, 6))])
+        assert self.both(outside_only, space) is False
+        covered = FiniteRelation.from_pairs([((5, 5), (6, 6)), ((0, 0), (1, 1))])
+        assert self.both(covered, space) is True
+
+    def test_hypothesis_style_random_agreement(self):
+        import numpy as np
+
+        rng = random.Random(7)
+        space = [(i, j) for i in range(5) for j in range(5)]
+        for _ in range(25):
+            pairs = {
+                (
+                    (rng.randrange(6), rng.randrange(6)),
+                    (rng.randrange(6), rng.randrange(6)),
+                )
+                for _ in range(rng.randrange(1, 8))
+            }
+            rel = FiniteRelation.from_pairs(pairs)
+            self.both(rel, space)

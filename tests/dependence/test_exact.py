@@ -9,7 +9,7 @@ from repro.dependence.analysis import DependenceAnalysis
 from repro.dependence.exact import enumerate_domain, exact_pair_dependences, reference_addresses
 from repro.ir.builder import aref, assign, loop, program
 from repro.workloads.examples import example3_loop, figure1_loop, figure2_loop
-from repro.workloads.synthetic import random_coupled_loop
+from repro.workloads.synthetic import large_triangular_loop, random_coupled_loop
 import random
 
 
@@ -126,3 +126,85 @@ class TestExactDependences:
                 continue
             brute_iter_pairs.add((min(i1, i2), max(i1, i2)))
         assert set(rel.pairs) == brute_iter_pairs
+
+
+class TestSortJoinEngine:
+    """The vectorised sort/merge join must match the reference hash join."""
+
+    def pairs_of(self, prog):
+        return DependenceAnalysis(prog, {}).reference_pairs
+
+    def assert_engines_agree(self, prog, params=None):
+        params = dict(params or {})
+        for pair in DependenceAnalysis(prog, params).reference_pairs:
+            hashed = exact_pair_dependences(
+                pair, params, prog.parameters, engine="hash"
+            )
+            sorted_ = exact_pair_dependences(
+                pair, params, prog.parameters, engine="sort"
+            )
+            assert sorted_ == hashed
+            assert (sorted_.dim_in, sorted_.dim_out) == (hashed.dim_in, hashed.dim_out)
+
+    def test_rectangular_domains(self):
+        self.assert_engines_agree(figure1_loop(10, 10))
+        self.assert_engines_agree(figure2_loop(20))
+
+    def test_triangular_domains(self):
+        # Non-rectangular (bounding box + filter) enumeration into the join.
+        self.assert_engines_agree(large_triangular_loop(15))
+        self.assert_engines_agree(example3_loop(40))
+
+    def test_triangular_result_is_array_backed(self):
+        prog = large_triangular_loop(15)
+        rels = [
+            exact_pair_dependences(pair, {}, engine="sort")
+            for pair in self.pairs_of(prog)
+        ]
+        nonempty = [rel for rel in rels if len(rel)]
+        assert nonempty
+        for rel in nonempty:
+            assert rel._pairs is None  # no tuple pairs were formed
+
+    def test_empty_domain_pair(self):
+        body = assign("s", aref("x", "I+1"), [aref("x", "I")])
+        prog = program("empty", loop("I", 5, 4, body), array_shapes={"x": (10,)})
+        for pair in self.pairs_of(prog):
+            for engine in ("hash", "sort", "auto"):
+                rel = exact_pair_dependences(pair, {}, engine=engine)
+                assert rel.is_empty()
+
+    def test_rank_zero_scalar_reference_pair(self):
+        # A scalar (rank-0) accumulator: every iteration touches t, so the
+        # write/write pair relates all distinct iteration pairs, both engines.
+        body = assign("s", aref("t"), [aref("x", "I")])
+        prog = program(
+            "scalar", loop("I", 1, 4, body), array_shapes={"t": (1,), "x": (6,)}
+        )
+        pairs = [
+            p
+            for p in self.pairs_of(prog)
+            if p.source_ref.array == "t" and p.target_ref.array == "t"
+        ]
+        assert pairs
+        for pair in pairs:
+            hashed = exact_pair_dependences(pair, {}, engine="hash")
+            sorted_ = exact_pair_dependences(pair, {}, engine="sort")
+            assert sorted_ == hashed
+            assert len(hashed) == 4 * 4 - 4  # all ordered distinct pairs
+            with_self = exact_pair_dependences(
+                pair, {}, engine="sort", include_self=True
+            )
+            assert len(with_self) == 4 * 4
+
+    def test_unknown_engine_rejected(self):
+        pair = self.pairs_of(figure1_loop(4, 4))[0]
+        with pytest.raises(ValueError):
+            exact_pair_dependences(pair, {}, engine="simd")
+
+    def test_analysis_engines_equivalent_end_to_end(self):
+        for prog in (figure1_loop(10, 10), figure2_loop(20), large_triangular_loop(12)):
+            set_rd = DependenceAnalysis(prog, {}, engine="set").iteration_dependences
+            vec_rd = DependenceAnalysis(prog, {}, engine="vector").iteration_dependences
+            auto_rd = DependenceAnalysis(prog, {}).iteration_dependences
+            assert set_rd == vec_rd == auto_rd

@@ -210,6 +210,84 @@ class TestArrayBackedRelation:
         assert r.oriented_forward().pairs == frozenset(expected)
 
 
+class TestLazyRelation:
+    """from_arrays defers the frozenset; both representations are equivalent."""
+
+    def arrays(self):
+        src = np.array([[1, 1], [2, 3], [1, 2], [5, 0], [1, 1]], dtype=np.int64)
+        dst = np.array([[2, 3], [4, 4], [2, 3], [6, 1], [2, 3]], dtype=np.int64)
+        return src, dst  # contains one duplicate pair
+
+    def test_pairs_deferred_until_asked(self):
+        r = FiniteRelation.from_arrays(*self.arrays())
+        assert r._pairs is None  # not materialised by construction
+        assert len(r) == 4  # length known without materialising (deduplicated)
+        assert not r.is_empty()
+        assert r._pairs is None
+        assert ((1, 1), (2, 3)) in r  # set-path access materialises
+        assert r._pairs is not None
+
+    def test_equal_to_set_built_relation(self):
+        src, dst = self.arrays()
+        lazy = FiniteRelation.from_arrays(src, dst)
+        eager = FiniteRelation.from_pairs(
+            list(zip(map(tuple, src.tolist()), map(tuple, dst.tolist())))
+        )
+        assert lazy == eager
+        assert eager == lazy
+        assert hash(lazy) == hash(eager)
+        assert list(lazy) == list(eager)
+
+    def test_array_built_relations_compare_without_tuples(self):
+        a = FiniteRelation.from_arrays(*self.arrays())
+        b = FiniteRelation.from_arrays(*self.arrays())
+        assert a == b
+        assert a._pairs is None and b._pairs is None  # compared on arrays
+
+    def test_canonical_array_order_matches_sorted_pairs(self):
+        r = FiniteRelation.from_arrays(*self.arrays())
+        src, dst = r.as_arrays()
+        expected = sorted(r.pairs)
+        assert [tuple(p) for p in src.tolist()] == [a for a, _ in expected]
+        assert [tuple(p) for p in dst.tolist()] == [b for _, b in expected]
+
+    def test_union_on_arrays_matches_set_union(self):
+        r1 = FiniteRelation.from_arrays(*self.arrays())
+        r2 = FiniteRelation.from_pairs([((9, 9), (10, 10)), ((1, 1), (2, 3))])
+        merged = r1.union(r2)
+        assert merged.pairs == r1.pairs | r2.pairs
+        empty = FiniteRelation(frozenset(), 2, 2)
+        assert r1.union(empty) == r1
+        assert empty.union(r1) == r1
+
+    def test_oriented_forward_stays_on_arrays(self):
+        src = np.array([[3, 3], [1, 1], [2, 2]], dtype=np.int64)
+        dst = np.array([[1, 1], [1, 1], [4, 4]], dtype=np.int64)
+        r = FiniteRelation.from_arrays(src, dst)
+        fwd = r.oriented_forward()
+        assert fwd._pairs is None  # array in, array out
+        assert fwd.pairs == frozenset({((1, 1), (3, 3)), ((2, 2), (4, 4))})
+
+    def test_distances_on_arrays(self):
+        r = FiniteRelation.from_arrays(*self.arrays())
+        assert r.distances() == {(1, 2), (2, 1), (1, 1)}
+
+    def test_rank_zero_arrays(self):
+        src = np.zeros((3, 0), dtype=np.int64)
+        dst = np.zeros((3, 0), dtype=np.int64)
+        r = FiniteRelation.from_arrays(src, dst)
+        assert r.pairs == frozenset({((), ())})
+        assert (r.dim_in, r.dim_out) == (0, 0)
+
+    def test_heterogeneous_dims(self):
+        src = np.array([[1], [2]], dtype=np.int64)
+        dst = np.array([[5, 6], [7, 8]], dtype=np.int64)
+        r = FiniteRelation.from_arrays(src, dst)
+        assert r._pairs is None
+        assert r.pairs == frozenset({((1,), (5, 6)), ((2,), (7, 8))})
+        assert r.inverse().pairs == frozenset({((5, 6), (1,)), ((7, 8), (2,))})
+
+
 class TestConvexRelation:
     def make_fig2_relation(self):
         # { i -> j : 2i = 21 - j, 1 <= i,j <= 20 }
