@@ -1,30 +1,32 @@
 #!/usr/bin/env python3
-"""Quickstart: partition the paper's running example and validate the result.
+"""Quickstart: plan, inspect and validate the paper's running example.
 
-Runs the recurrence-chain partitioner (Algorithm 1) on the figure-1 loop
+Runs the unified planning facade on the figure-1 loop
 
     DO I1 = 1, N1
       DO I2 = 1, N2
         a(3*I1+1, 2*I1+I2-1) = a(I1+3, I2+1)
 
-prints the three-set partition, the recurrence chains, the Theorem-1 bound and
-the simulated speedups, and checks that executing the parallel schedule gives
-exactly the same array contents as the sequential loop.
+``repro.plan`` walks the strategy fallback chain (Algorithm 1's
+recurrence-chain branch wins here), and the returned ``Plan`` carries the
+three-set partition, the recurrence chains, the Theorem-1 bound and the
+schedule; ``Plan.validate()`` checks that executing the parallel schedule
+gives exactly the same array contents as the sequential loop.
 """
 
+import repro
 from repro.analysis.report import format_table
-from repro.core import recurrence_chain_partition
-from repro.runtime import speedup_curve, validate_schedule
-from repro.workloads import figure1_loop
+from repro.runtime import speedup_curve
 
 
 def main(n1: int = 30, n2: int = 100) -> None:
-    program = figure1_loop(n1, n2)
+    program = repro.workloads.figure1_loop(n1, n2)
     print(program)
     print()
 
-    result = recurrence_chain_partition(program)
-    print(f"scheme          : {result.scheme}")
+    result = repro.plan(program)
+    print(result.explain())
+    print()
     counts = result.partition.counts()
     print(
         format_table(
@@ -37,10 +39,10 @@ def main(n1: int = 30, n2: int = 100) -> None:
     print(f"phases          : {result.schedule.num_phases}")
     print(f"ideal speedup   : {result.schedule.ideal_speedup():.1f}")
 
-    report = validate_schedule(
-        program, result.schedule, {}, dependences=result.analysis.iteration_dependences
-    )
-    print(f"validation      : {report}")
+    print(f"validation      : {result.validate()}")
+
+    # A re-plan of the same nest is served from the plan cache.
+    assert repro.plan(repro.workloads.figure1_loop(n1, n2)) is result
 
     print("\nSimulated speedups (4-CPU SMP cost model):")
     curve = speedup_curve(result.schedule, (1, 2, 3, 4))

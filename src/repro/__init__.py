@@ -18,7 +18,8 @@ Sub-packages
 ``repro.ir``      the loop-nest IR (affine bounds, affine references)
 ``repro.dependence``  exact and conservative dependence analysis
 ``repro.core``    the paper's contribution: three-set partitioning, recurrence
-                  chains, dataflow partitioning, Algorithm 1, Theorem 1
+                  chains, dataflow partitioning, Algorithm 1, Theorem 1 — and
+                  the unified planning facade (``plan``/``PlanConfig``/``Plan``)
 ``repro.codegen`` DOALL/WHILE code generation (Python and pseudo-Fortran)
 ``repro.runtime`` executors, SMP cost-model simulator, validation, metrics
 ``repro.baselines``  PDM, PL, unique sets, DOACROSS, tiling, inner-DOALL
@@ -29,20 +30,62 @@ Sub-packages
 Quick start
 ===========
 
->>> from repro.workloads import figure1_loop
->>> from repro.core import recurrence_chain_partition
->>> from repro.runtime import validate_schedule
->>> prog = figure1_loop(10, 10)
->>> result = recurrence_chain_partition(prog)
->>> result.schedule.num_phases
+Everything goes through one entry point: :func:`repro.plan` selects the best
+applicable partitioning strategy (Algorithm 1's recurrence-chain and dataflow
+branches, falling back to the six baseline schemes), and returns an
+executable :class:`~repro.core.strategy.Plan`:
+
+>>> import repro
+>>> prog = repro.workloads.figure1_loop(10, 10)
+>>> p = repro.plan(prog)
+>>> p.strategy
+'recurrence-chains'
+>>> p.schedule.num_phases
 3
->>> validate_schedule(prog, result.schedule, {}).ok
+>>> p.validate().ok
 True
+
+Re-planning the same loop nest hits the LRU plan cache and returns the
+identical object (the serving scenario — no re-analysis):
+
+>>> repro.plan(repro.workloads.figure1_loop(10, 10)) is p
+True
+
+:class:`~repro.core.strategy.PlanConfig` centralises every knob — the
+set/vector engine, the bulk-threshold override, the strategy preference
+order — and ``Plan.explain()`` records why earlier strategies were skipped:
+
+>>> forced = repro.plan(prog, config=repro.PlanConfig(strategies=("pdm",)))
+>>> forced.scheme
+'pdm'
+>>> imperfect = repro.plan(repro.workloads.example3_loop(8))
+>>> imperfect.strategy
+'dataflow'
+>>> print(imperfect.explain())  # doctest: +ELLIPSIS
+plan for 'example3' (params {}, engine 'auto'):
+  - skipped recurrence-chains: needs exactly one coupled reference pair...
+  - selected dataflow (scheme 'dataflow')...
+...
+
+Plans execute (``p.execute(threads=4)`` for the real thread pool) and
+generate source (``p.codegen(target="python")``); the historical entry
+points — ``repro.core.recurrence_chain_partition`` and the per-scheme
+``*_schedule`` functions — remain as thin shims over the same machinery.
 """
 
 from . import analysis, baselines, codegen, core, dependence, ir, isl, runtime, workloads
+from .core.strategy import (
+    PartitionStrategy,
+    Plan,
+    PlanCache,
+    PlanConfig,
+    default_plan_cache,
+    plan,
+    strategy_names,
+    strategy_table,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "analysis",
@@ -54,5 +97,13 @@ __all__ = [
     "isl",
     "runtime",
     "workloads",
+    "plan",
+    "Plan",
+    "PlanConfig",
+    "PlanCache",
+    "PartitionStrategy",
+    "default_plan_cache",
+    "strategy_names",
+    "strategy_table",
     "__version__",
 ]

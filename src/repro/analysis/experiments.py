@@ -7,6 +7,13 @@ The problem sizes default to scaled-down versions of the paper's parameters so
 the exact dependence analysis finishes in seconds; the paper's full sizes can
 be requested explicitly where they remain tractable.
 
+Every experiment goes through the unified planning facade
+(:func:`repro.core.strategy.plan`): the REC results are default plans (the
+fallback chain picks Algorithm 1's applicable branch), and the comparison
+schemes are plans with the strategy pinned via
+``PlanConfig(strategies=(name,))`` — the same dispatch every other consumer
+of the package uses.
+
 Cost-model choices (documented, see DESIGN.md §2): the figure-3 simulations
 give the REC schedules an ``instance_cost_factor`` slightly below 1.0 because
 the paper attributes REC's super-linear low-thread speedups to the simplified
@@ -23,20 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-from ..baselines import (
-    doacross_schedule,
-    inner_parallel_schedule,
-    pdm_schedule,
-    pl_schedule,
-    tiling_schedule,
-    unique_sets_schedule,
-)
-from ..core import (
-    dataflow_partition,
-    recurrence_chain_partition,
-    three_set_partition,
-)
-from ..core.statement import build_statement_space
+from ..core import PlanConfig, plan, three_set_partition
 from ..dependence import DependenceAnalysis
 from ..runtime import CostModel, compare_schemes, validate_schedule
 from ..workloads import (
@@ -116,12 +110,8 @@ def run_figure2_chains(n: int = 20) -> Dict[str, object]:
 
 def run_example1_partition(n1: int = 30, n2: int = 100) -> Dict[str, object]:
     """REC partition of the figure-1 loop: set sizes, chains, Theorem 1 bound."""
-    prog = figure1_loop(n1, n2)
-    result = recurrence_chain_partition(prog)
-    report = validate_schedule(
-        prog, result.schedule, {}, dependences=result.analysis.iteration_dependences,
-        seeds=(0,),
-    )
+    result = plan(figure1_loop(n1, n2))
+    report = result.validate(seeds=(0,))
     return {
         "params": {"N1": n1, "N2": n2},
         **result.summary(),
@@ -134,12 +124,8 @@ def run_example1_partition(n1: int = 30, n2: int = 100) -> Dict[str, object]:
 
 def run_example2_partition(n: int = 12) -> Dict[str, object]:
     """REC partition of Ju & Chaudhary's loop; at N=12 the intermediate set is {(2,6)}."""
-    prog = example2_loop(n)
-    result = recurrence_chain_partition(prog)
-    report = validate_schedule(
-        prog, result.schedule, {}, dependences=result.analysis.iteration_dependences,
-        seeds=(0,),
-    )
+    result = plan(example2_loop(n))
+    report = result.validate(seeds=(0,))
     return {
         "params": {"N": n},
         **result.summary(),
@@ -152,10 +138,9 @@ def run_example2_partition(n: int = 12) -> Dict[str, object]:
 
 def run_example3_partition(n: int = 40) -> Dict[str, object]:
     """REC partition of the imperfectly nested Chen & Yew loop (empty P2 → 2 phases)."""
-    prog = example3_loop(n)
-    result = recurrence_chain_partition(prog)
+    result = plan(example3_loop(n))
     stmt_space = result.statement_space
-    report = validate_schedule(prog, result.schedule, {}, dependences=stmt_space.rd, seeds=(0,))
+    report = result.validate(seeds=(0,))
     # The three-set view of the unified space (empty intermediate set expected).
     partition = three_set_partition(sorted(stmt_space.points), stmt_space.rd)
     return {
@@ -180,8 +165,7 @@ def run_example4_dataflow(
     carries no dependences), so the default scales NMAT down from the paper's
     250 to keep the exact analysis fast; pass ``nmat=250`` for the full size.
     """
-    prog = cholesky_loop(nmat=nmat, m=m, n=n, nrhs=nrhs)
-    result = recurrence_chain_partition(prog)
+    result = plan(cholesky_loop(nmat=nmat, m=m, n=n, nrhs=nrhs))
     return {
         "params": {"NMAT": nmat, "M": m, "N": n, "NRHS": nrhs},
         "scheme": result.scheme,
@@ -201,41 +185,44 @@ class Figure3Config:
     description: str
 
 
+def _pinned_schedule(prog, strategy: str):
+    """The schedule of one baseline scheme, via a strategy-pinned plan."""
+    return plan(prog, config=PlanConfig(strategies=(strategy,))).schedule
+
+
 def _figure3_schedules(key: str, sizes: Optional[Mapping[str, int]] = None):
-    """Build (program, {scheme: schedule}, {scheme: cost model}) for one panel."""
+    """Build (program, {scheme: schedule}, {scheme: cost model}) for one panel.
+
+    The REC curve is the default ``plan()`` (Algorithm 1 wins the fallback
+    chain on every panel); each comparison curve pins its strategy.
+    """
     sizes = dict(sizes or {})
     if key == "ex1":
         n1, n2 = sizes.get("N1", 60), sizes.get("N2", 200)
         prog = figure1_loop(n1, n2)
-        analysis = DependenceAnalysis(prog, {})
-        rec = recurrence_chain_partition(prog).schedule
         schedules = {
-            "REC": rec,
-            "PDM": pdm_schedule(prog, {}, analysis),
-            "PL": pl_schedule(prog, {}, analysis),
+            "REC": plan(prog).schedule,
+            "PDM": _pinned_schedule(prog, "pdm"),
+            "PL": _pinned_schedule(prog, "pl"),
         }
         models = {"REC": REC_COST_MODEL}
         return prog, schedules, models
     if key == "ex2":
         n = sizes.get("N", 60)
         prog = example2_loop(n)
-        analysis = DependenceAnalysis(prog, {})
-        rec = recurrence_chain_partition(prog).schedule
         schedules = {
-            "REC": rec,
-            "UNIQUE": unique_sets_schedule(prog, {}, analysis),
+            "REC": plan(prog).schedule,
+            "UNIQUE": _pinned_schedule(prog, "unique-sets"),
         }
         models = {"REC": REC_COST_MODEL}
         return prog, schedules, models
     if key == "ex3":
         n = sizes.get("N", 60)
         prog = example3_loop(n)
-        analysis = DependenceAnalysis(prog, {})
-        rec = recurrence_chain_partition(prog).schedule
         schedules = {
-            "REC": rec,
-            "PAR": inner_parallel_schedule(prog, {}, analysis),
-            "DOACROSS": doacross_schedule(prog, {}, analysis),
+            "REC": plan(prog).schedule,
+            "PAR": _pinned_schedule(prog, "inner-parallel"),
+            "DOACROSS": _pinned_schedule(prog, "doacross"),
         }
         models = {"REC": REC_COST_MODEL, "DOACROSS": DOACROSS_COST_MODEL}
         return prog, schedules, models
@@ -245,10 +232,8 @@ def _figure3_schedules(key: str, sizes: Optional[Mapping[str, int]] = None):
         n = sizes.get("N", 40)
         nrhs = sizes.get("NRHS", 3)
         prog = cholesky_loop(nmat=nmat, m=m, n=n, nrhs=nrhs)
-        analysis = DependenceAnalysis(prog, {})
-        rec = recurrence_chain_partition(prog).schedule
         schedules = {
-            "REC": rec,
+            "REC": plan(prog).schedule,
             "PDM": _cholesky_pdm_schedule(prog),
         }
         models = {"REC": REC_COST_MODEL}
@@ -313,8 +298,7 @@ def run_theorem1_check(sizes: Sequence[Tuple[int, int]] = ((10, 10), (20, 30), (
     """Measure the longest chain vs the Theorem 1 bound over several problem sizes."""
     rows = []
     for n1, n2 in sizes:
-        prog = figure1_loop(n1, n2)
-        result = recurrence_chain_partition(prog)
+        result = plan(figure1_loop(n1, n2))
         rows.append(
             {
                 "N1": n1,

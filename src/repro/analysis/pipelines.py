@@ -7,6 +7,14 @@ schedule, once on the original set/tuple representation and once on the
 array-native one — and assert they are bit-identical.  Keeping a single copy
 of the drivers and the comparison here guarantees the bench measures exactly
 the pipeline the tests verify.
+
+Both drivers are built on the unified planning facade
+(:func:`repro.core.strategy.plan` with the ``dataflow`` strategy pinned and a
+forced engine), so the equivalence tests and the scaling benchmark exercise
+the exact code path a ``plan()`` consumer gets; the three-set partition —
+which the dataflow schedule itself does not need — is computed alongside the
+plan so the comparison still pins every component of eq. 5.  Caching is
+disabled: these drivers exist to *measure and compare* fresh pipeline runs.
 """
 
 from __future__ import annotations
@@ -14,14 +22,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
-from ..core.dataflow import dataflow_schedule
 from ..core.partition import ThreeSetPartition, three_set_partition
 from ..core.schedule import Schedule
+from ..core.strategy import PlanConfig, plan
 from ..dependence.analysis import DependenceAnalysis
 from ..ir.program import LoopProgram
 from ..isl.relations import FiniteRelation
 
 __all__ = ["PipelineRun", "run_set_pipeline", "run_array_pipeline", "pipeline_mismatches"]
+
+#: The two pinned configurations: the dataflow strategy only, on a forced engine.
+SET_PIPELINE_CONFIG = PlanConfig(engine="set", strategies=("dataflow",))
+ARRAY_PIPELINE_CONFIG = PlanConfig(engine="vector", strategies=("dataflow",))
 
 
 @dataclass(frozen=True)
@@ -34,24 +46,26 @@ class PipelineRun:
     schedule: Schedule
 
 
+def _run_pipeline(prog: LoopProgram, config: PlanConfig) -> PipelineRun:
+    p = plan(prog, config=config, cache=False)
+    rd = p.analysis.iteration_dependences
+    space = (
+        p.analysis.iteration_space_points
+        if config.engine == "set"
+        else p.analysis.iteration_space_array
+    )
+    partition = three_set_partition(space, rd, engine=config.engine)
+    return PipelineRun(p.analysis, rd, partition, p.schedule)
+
+
 def run_set_pipeline(prog: LoopProgram) -> PipelineRun:
     """The pre-array-native pipeline: tuples and frozensets end to end."""
-    analysis = DependenceAnalysis(prog, {}, engine="set")
-    rd = analysis.iteration_dependences
-    space = analysis.iteration_space_points
-    partition = three_set_partition(space, rd, engine="set")
-    schedule = dataflow_schedule(f"{prog.name}-set", space, rd, engine="set")
-    return PipelineRun(analysis, rd, partition, schedule)
+    return _run_pipeline(prog, SET_PIPELINE_CONFIG)
 
 
 def run_array_pipeline(prog: LoopProgram) -> PipelineRun:
     """The array-native pipeline: sort join, array Rd, CSR wavefront schedule."""
-    analysis = DependenceAnalysis(prog, {}, engine="vector")
-    rd = analysis.iteration_dependences
-    space = analysis.iteration_space_array
-    partition = three_set_partition(space, rd, engine="vector")
-    schedule = dataflow_schedule(f"{prog.name}-array", space, rd, engine="vector")
-    return PipelineRun(analysis, rd, partition, schedule)
+    return _run_pipeline(prog, ARRAY_PIPELINE_CONFIG)
 
 
 def pipeline_mismatches(set_run: PipelineRun, array_run: PipelineRun) -> List[str]:

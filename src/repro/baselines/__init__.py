@@ -20,7 +20,7 @@ from .doacross import basic_dependence_vectors, doacross_schedule, uniformized_r
 from .innerpar import inner_parallel_schedule
 from .lattice import DistanceLattice, direction_basis, pseudo_distance_matrix
 from .pdm import PDMPartition, pdm_partition, pdm_schedule
-from .pl import pl_partition, pl_schedule
+from .pl import PLPartition, pl_partition, pl_schedule
 from .tiling import minimum_distances, tiling_schedule
 from .unique_sets import UniqueSets, unique_sets_partition, unique_sets_schedule
 
@@ -30,6 +30,7 @@ __all__ = [
     "PDMPartition",
     "pl_schedule",
     "pl_partition",
+    "PLPartition",
     "unique_sets_schedule",
     "unique_sets_partition",
     "UniqueSets",

@@ -22,7 +22,7 @@ paper's Example 4 comparison, where PDM parallelizes the outermost ``L`` /
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import ClassVar, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.schedule import ExecutionUnit, Instance, ParallelPhase, Schedule
 from ..dependence.analysis import DependenceAnalysis
@@ -37,7 +37,15 @@ Point = Tuple[int, ...]
 
 @dataclass(frozen=True)
 class PDMPartition:
-    """The PDM partition: pseudo distance vectors and the resulting cosets."""
+    """The PDM partition: pseudo distance vectors and the resulting cosets.
+
+    ``scheme`` names the uniformization scheme that produced the partition;
+    the PL baseline's :class:`~repro.baselines.pl.PLPartition` subclass
+    overrides it so registry diagnostics report the right scheme even though
+    both schemes share the coset mechanics.
+    """
+
+    scheme: ClassVar[str] = "pdm"
 
     pdm: Tuple[Point, ...]
     cosets: Mapping[Point, List[Point]]

@@ -16,7 +16,8 @@ generator set; see :mod:`repro.baselines.lattice`.
 
 from __future__ import annotations
 
-from typing import List, Mapping, Optional, Tuple
+from dataclasses import dataclass
+from typing import ClassVar, List, Mapping, Optional, Tuple
 
 from ..core.schedule import ExecutionUnit, Instance, ParallelPhase, Schedule
 from ..dependence.analysis import DependenceAnalysis
@@ -25,18 +26,32 @@ from ..isl.relations import FiniteRelation
 from .lattice import DistanceLattice, direction_basis
 from .pdm import PDMPartition
 
-__all__ = ["pl_partition", "pl_schedule"]
+__all__ = ["PLPartition", "pl_partition", "pl_schedule"]
 
 Point = Tuple[int, ...]
 
 
-def pl_partition(space, rd: FiniteRelation) -> PDMPartition:
+@dataclass(frozen=True)
+class PLPartition(PDMPartition):
+    """The PL coset partition (direction-vector lattice).
+
+    Structurally identical to :class:`~repro.baselines.pdm.PDMPartition` —
+    the ``pdm`` field holds the primitive direction basis instead of the
+    pseudo distance matrix — but carried as its own type so consumers (the
+    strategy-registry diagnostics, reports) can tell the two uniformization
+    schemes apart without inspecting which lattice generated the cosets.
+    """
+
+    scheme: ClassVar[str] = "pl"
+
+
+def pl_partition(space, rd: FiniteRelation) -> PLPartition:
     """Coset partition under the primitive direction-vector lattice."""
     dim = len(space[0]) if space else rd.dim_in
     basis = direction_basis(sorted(rd.distances()), dim)
     lattice = DistanceLattice.from_vectors(basis, dim)
     cosets = lattice.cosets(space)
-    return PDMPartition(pdm=tuple(basis), cosets=cosets, lattice=lattice)
+    return PLPartition(pdm=tuple(basis), cosets=cosets, lattice=lattice)
 
 
 def pl_schedule(

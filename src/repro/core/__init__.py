@@ -13,7 +13,13 @@
 * :mod:`repro.core.partitioner` — Algorithm 1 end to end, producing a
   :class:`~repro.core.schedule.Schedule`;
 * :mod:`repro.core.schedule` — the schedule representation shared by every
-  partitioning scheme (including the baselines).
+  partitioning scheme (including the baselines);
+* :mod:`repro.core.strategy` — the unified planning facade: the
+  :class:`~repro.core.strategy.PartitionStrategy` registry over Algorithm 1
+  and all six baselines, :class:`~repro.core.strategy.PlanConfig`,
+  executable :class:`~repro.core.strategy.Plan` objects, the LRU
+  :class:`~repro.core.strategy.PlanCache` and the
+  :func:`~repro.core.strategy.plan` entry point.
 """
 
 from .chains import (
@@ -33,6 +39,8 @@ from .partition import (
 from .partitioner import (
     PartitioningNotApplicable,
     RecurrencePartitionResult,
+    dataflow_branch,
+    recurrence_branch,
     recurrence_chain_partition,
     three_phase_schedule,
 )
@@ -44,6 +52,22 @@ from .recurrence import (
 )
 from .schedule import ArrayPhase, ExecutionUnit, Instance, ParallelPhase, Schedule
 from .statement import StatementLevelSpace, build_statement_space
+
+# Imported last: the strategy registry wraps the baselines package, which in
+# turn imports repro.core submodules — by this point they are all loaded.
+from .strategy import (
+    PartitionStrategy,
+    Plan,
+    PlanCache,
+    PlanConfig,
+    default_plan_cache,
+    get_strategy,
+    plan,
+    program_fingerprint,
+    register_strategy,
+    strategy_names,
+    strategy_table,
+)
 
 __all__ = [
     "ThreeSetPartition",
@@ -65,9 +89,22 @@ __all__ = [
     "StatementLevelSpace",
     "build_statement_space",
     "recurrence_chain_partition",
+    "recurrence_branch",
+    "dataflow_branch",
     "RecurrencePartitionResult",
     "PartitioningNotApplicable",
     "three_phase_schedule",
+    "plan",
+    "Plan",
+    "PlanConfig",
+    "PlanCache",
+    "PartitionStrategy",
+    "default_plan_cache",
+    "program_fingerprint",
+    "register_strategy",
+    "get_strategy",
+    "strategy_names",
+    "strategy_table",
     "Schedule",
     "ParallelPhase",
     "ArrayPhase",

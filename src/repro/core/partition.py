@@ -161,6 +161,15 @@ class ThreeSetPartition:
         """P3 as lexicographically sorted ``(n, dim)`` rows (DOALL emission order)."""
         return self._row_view("p3")
 
+    def space_array(self) -> np.ndarray:
+        """Φ as lexicographically sorted ``(n, dim)`` rows.
+
+        Array-backed partitions return their backing directly, so geometric
+        queries (e.g. the Theorem 1 diameter) never box the space into
+        tuples; set-built partitions derive and cache the rows once.
+        """
+        return self._row_view("space")
+
     @property
     def array_backed(self) -> bool:
         """True when built by the vector engine — a fixed fact of construction,

@@ -23,8 +23,17 @@ engine; spaces or relations at or beyond
 the vectorised int64-key path (identical results, see
 :mod:`repro.core.partition` and :mod:`repro.core.dataflow`).
 4. Otherwise Algorithm 1 does not apply and the caller should fall back to the
-   PDM scheme (``repro.baselines.pdm``); this function raises
+   PDM scheme (``repro.baselines.pdm``); :func:`recurrence_branch` raises
    :class:`PartitioningNotApplicable` so the fallback is an explicit decision.
+
+The two branches are exposed separately — :func:`recurrence_branch` (the
+Lemma 1 single-pair case) and :func:`dataflow_branch` (iterative dataflow
+partitioning) — because the strategy registry of :mod:`repro.core.strategy`
+registers them as two independent strategies of the unified ``plan()``
+facade.  :func:`recurrence_chain_partition` remains as a **thin shim** tying
+them together with the historical try/chains-else-dataflow dispatch; new code
+should call :func:`repro.plan` instead, which walks an explicit fallback
+chain over every registered scheme and records why strategies were skipped.
 
 The returned schedule always satisfies (and the tests verify):
 ``schedule.covers(all statement instances)`` and
@@ -48,6 +57,8 @@ from .statement import StatementLevelSpace, build_statement_space
 __all__ = [
     "PartitioningNotApplicable",
     "RecurrencePartitionResult",
+    "recurrence_branch",
+    "dataflow_branch",
     "recurrence_chain_partition",
     "three_phase_schedule",
 ]
@@ -78,10 +89,15 @@ class RecurrencePartitionResult:
         return self.schedule.num_phases
 
     def chain_length_bound(self) -> Optional[int]:
-        """The Theorem 1 bound for this problem instance (None when α ≤ 1)."""
+        """The Theorem 1 bound for this problem instance (None when α ≤ 1).
+
+        The diameter comes from the partition's array backing (per-axis
+        min/max over the ``(n, dim)`` rows) — on an array-backed partition
+        this never boxes the space into point tuples.
+        """
         if self.recurrence is None or self.partition is None:
             return None
-        diameter = iteration_space_diameter(sorted(self.partition.space))
+        diameter = iteration_space_diameter(self.partition.space_array())
         return theorem1_bound(self.recurrence, diameter)
 
     def longest_chain(self) -> int:
@@ -145,59 +161,131 @@ def three_phase_schedule(
     return Schedule.from_phases(name, phases, scheme="recurrence-chains")
 
 
-def recurrence_chain_partition(
+def recurrence_not_applicable_reason(analysis: DependenceAnalysis) -> Optional[str]:
+    """Why the Lemma 1 single-pair branch does not apply (``None`` == applies).
+
+    The condition is exactly the historical ``use_chains`` test of Algorithm 1;
+    the strategy registry surfaces the returned reason in ``Plan.explain()``.
+    """
+    single_pair = analysis.single_coupled_pair()
+    if single_pair is None:
+        coupled = [
+            d
+            for d in analysis.pair_dependences
+            if d.pair.is_coupled() and not d.is_empty()
+        ]
+        return (
+            "needs exactly one coupled reference pair with dependences "
+            f"(found {len(coupled)})"
+        )
+    if not single_pair.is_square_full_rank():
+        return (
+            "the coupled pair's subscript matrices are not square and "
+            "full-rank (no Lemma 1 recurrence)"
+        )
+    if single_pair.source_indices != single_pair.target_indices:
+        return "the coupled references do not share one iteration space"
+    return None
+
+
+def recurrence_branch(
     program: LoopProgram,
     params: Optional[Mapping[str, int]] = None,
-    force_dataflow: bool = False,
+    analysis: Optional[DependenceAnalysis] = None,
+    engine: str = "auto",
 ) -> RecurrencePartitionResult:
-    """Run Algorithm 1 on a program at concrete parameter values.
+    """The single-pair branch of Algorithm 1 (Lemma 1 recurrence chains).
 
-    ``force_dataflow=True`` skips the single-pair branch even when it applies
-    (useful for comparing the two strategies on the same loop).
+    Raises :class:`PartitioningNotApplicable` when the program does not have
+    exactly one square, full-rank coupled reference pair over one iteration
+    space.  ``engine`` selects the partitioning engine
+    (``"auto"``/``"set"``/``"vector"``, see :mod:`repro.core.partition`).
     """
     params = dict(params or {})
-    analysis = DependenceAnalysis(program, params)
-
+    analysis = analysis or DependenceAnalysis(program, params, engine=engine)
+    reason = recurrence_not_applicable_reason(analysis)
+    if reason is not None:
+        raise PartitioningNotApplicable(
+            f"recurrence-chain branch does not apply to {program.name!r}: {reason}"
+        )
     single_pair = analysis.single_coupled_pair()
-    use_chains = (
-        not force_dataflow
-        and single_pair is not None
-        and single_pair.is_square_full_rank()
-        and single_pair.source_indices == single_pair.target_indices
+    label = single_pair.source_ctx.statement.label
+    # The array form feeds the vectorised engine directly for large spaces
+    # (three_set_partition switches engines on its own threshold); forcing
+    # engine="set" keeps the whole branch on the original tuple path.
+    space_points = (
+        analysis.iteration_space_points
+        if engine == "set"
+        else analysis.iteration_space_array
+    )
+    rd = analysis.iteration_dependences
+    partition = three_set_partition(space_points, rd, engine=engine)
+    recurrence = AffineRecurrence.from_pair(single_pair)
+    chains = chains_from_recurrence(partition, recurrence)
+    if not verify_disjoint_chains(chains, partition.p2):
+        # Lemma 1's precondition failed in practice (should not happen for a
+        # genuinely single coupled pair) — fall back to the graph walk,
+        # which always covers P2.
+        chains = chains_from_relation(partition)
+    schedule = three_phase_schedule(
+        f"{program.name}-REC", label, partition, chains
+    )
+    return RecurrencePartitionResult(
+        program=program,
+        params=params,
+        scheme="recurrence-chains",
+        schedule=schedule,
+        partition=partition,
+        chains=tuple(chains),
+        recurrence=recurrence,
+        statement_space=None,
+        analysis=analysis,
     )
 
-    if use_chains:
-        label = single_pair.source_ctx.statement.label
-        # The array form feeds the vectorised engine directly for large
-        # spaces (three_set_partition switches engines on its own threshold).
-        space_points = analysis.iteration_space_array
-        rd = analysis.iteration_dependences
-        partition = three_set_partition(space_points, rd)
-        recurrence = AffineRecurrence.from_pair(single_pair)
-        chains = chains_from_recurrence(partition, recurrence)
-        if not verify_disjoint_chains(chains, partition.p2):
-            # Lemma 1's precondition failed in practice (should not happen for a
-            # genuinely single coupled pair) — fall back to the graph walk,
-            # which always covers P2.
-            chains = chains_from_relation(partition)
-        schedule = three_phase_schedule(
-            f"{program.name}-REC", label, partition, chains
+
+def dataflow_branch(
+    program: LoopProgram,
+    params: Optional[Mapping[str, int]] = None,
+    analysis: Optional[DependenceAnalysis] = None,
+    engine: str = "auto",
+) -> RecurrencePartitionResult:
+    """The iterative dataflow branch of Algorithm 1.
+
+    Needs concrete bounds, which ``params`` guarantees here
+    (:class:`~repro.dependence.analysis.DependenceAnalysis` refuses unbound
+    parameters).  Single-statement programs (always a perfect nest) are peeled
+    directly on the iteration-level relation — at scale this keeps the branch
+    on the array-native path end to end; multi-statement and imperfect nests
+    go through the statement-level unified space of §3.3.
+    """
+    params = dict(params or {})
+    analysis = analysis or DependenceAnalysis(program, params, engine=engine)
+    contexts = program.statement_contexts()
+    if len(contexts) == 1:
+        label = contexts[0].statement.label
+        space = (
+            analysis.iteration_space_points
+            if engine == "set"
+            else analysis.iteration_space_array
+        )
+        schedule = dataflow_schedule(
+            f"{program.name}-REC-dataflow",
+            space,
+            analysis.iteration_dependences,
+            label=label,
+            engine=engine,
         )
         return RecurrencePartitionResult(
             program=program,
             params=params,
-            scheme="recurrence-chains",
+            scheme="dataflow",
             schedule=schedule,
-            partition=partition,
-            chains=tuple(chains),
-            recurrence=recurrence,
+            partition=None,
+            chains=(),
+            recurrence=None,
             statement_space=None,
             analysis=analysis,
         )
-
-    # Dataflow branch — needs concrete bounds, which `params` guarantees here
-    # (DependenceAnalysis refuses unbound parameters).  Works at statement
-    # level so imperfect nests and multi-statement bodies are handled.
     stmt_space = build_statement_space(program, params, analysis)
     instances_of = stmt_space.instance_of()
     schedule = dataflow_schedule(
@@ -205,6 +293,7 @@ def recurrence_chain_partition(
         stmt_space.points,
         stmt_space.rd,
         instances_of=instances_of,
+        engine=engine,
     )
     return RecurrencePartitionResult(
         program=program,
@@ -217,3 +306,30 @@ def recurrence_chain_partition(
         statement_space=stmt_space,
         analysis=analysis,
     )
+
+
+def recurrence_chain_partition(
+    program: LoopProgram,
+    params: Optional[Mapping[str, int]] = None,
+    force_dataflow: bool = False,
+) -> RecurrencePartitionResult:
+    """Run Algorithm 1 on a program at concrete parameter values.
+
+    ``force_dataflow=True`` skips the single-pair branch even when it applies
+    (useful for comparing the two strategies on the same loop).
+
+    .. deprecated::
+        This is now a thin shim over :func:`recurrence_branch` /
+        :func:`dataflow_branch`, kept for callers written against the
+        original API.  New code should use :func:`repro.plan`, which walks
+        the full strategy fallback chain (recurrence-chains → dataflow →
+        PDM → …), records why strategies were skipped, and caches re-plans.
+    """
+    params = dict(params or {})
+    analysis = DependenceAnalysis(program, params)
+    if not force_dataflow:
+        try:
+            return recurrence_branch(program, params, analysis)
+        except PartitioningNotApplicable:
+            pass
+    return dataflow_branch(program, params, analysis)

@@ -23,7 +23,9 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from ..dependence.pair import ReferencePair
 from ..isl.convex import ConvexSet
@@ -170,13 +172,20 @@ def theorem1_bound(recurrence: AffineRecurrence, diameter: float) -> Optional[in
     return int(math.floor(math.log(diameter, alpha))) + 1
 
 
-def iteration_space_diameter(points: Sequence[Point]) -> float:
+def iteration_space_diameter(points: Union[np.ndarray, Sequence[Point]]) -> float:
     """Euclidean diameter of a finite iteration space.
 
     Computed from the per-dimension extents (the diameter of an axis-aligned
     box containing the points), which upper-bounds — and for the rectangular
-    spaces of the paper's examples equals — the true diameter.
+    spaces of the paper's examples equals — the true diameter.  ``points``
+    may be a sequence of tuples or an ``(n, dim)`` int array; the array form
+    reduces per axis with ``min``/``max`` and never boxes a point.
     """
+    if isinstance(points, np.ndarray):
+        if points.size == 0:
+            return 0.0
+        extents = (points.max(axis=0) - points.min(axis=0)).astype(float)
+        return float(math.sqrt(float((extents**2).sum())))
     if not points:
         return 0.0
     dims = len(points[0])

@@ -1,0 +1,772 @@
+"""The unified planning facade: strategy registry, :class:`PlanConfig`,
+executable :class:`Plan` objects and the :func:`plan` entry point.
+
+The paper's experimental story is a *comparison* — recurrence-chain
+partitioning (Algorithm 1) against PDM, PL, unique sets, DOACROSS,
+minimum-distance tiling and inner-loop parallelization — but historically
+each scheme had its own ad-hoc entry point and every consumer hand-rolled
+the same try/except-around-:class:`PartitioningNotApplicable` dispatch.
+This module puts one compiler-style facade in front of all of them:
+
+``plan(program, params, config=PlanConfig(...)) -> Plan``
+
+* every scheme is a :class:`PartitionStrategy` in a **registry**; selection
+  walks an explicit fallback chain (by default: recurrence-chains →
+  dataflow → pdm → pl → unique-sets → doacross → tiling → inner-parallel)
+  and records *why* each strategy was skipped — ``Plan.explain()`` replaces
+  the old hand-rolled fallback idiom;
+* :class:`PlanConfig` centralises the knobs that used to be scattered as
+  keyword arguments and module constants: the set/vector ``engine``, a
+  :data:`~repro.isl.relations.BULK_SIZE_THRESHOLD` override,
+  ``force_dataflow``, the strategy preference order and the executor's
+  shuffle seed;
+* :class:`Plan` is the single result object — schedule, partition/chain/
+  statement-space diagnostics, chosen strategy, per-strategy timings — with
+  ``.execute(threads=…)``, ``.validate()`` and ``.codegen(target=…)``
+  delegating to :mod:`repro.runtime` / :mod:`repro.codegen`;
+* an LRU :class:`PlanCache` keyed by ``(program fingerprint, params,
+  config)`` makes repeated requests for the same loop nest (the serving
+  scenario) return the identical :class:`Plan` without re-analysis.
+
+Future backends — the ROADMAP's process-pool executor and symbolic-partition
+codegen — plug in as more strategies/targets behind the same facade.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from collections import OrderedDict
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..dependence.analysis import DependenceAnalysis
+from ..ir.program import LoopProgram
+from .chains import MonotonicChain
+from .partition import ThreeSetPartition
+from .partitioner import (
+    PartitioningNotApplicable,
+    RecurrencePartitionResult,
+    dataflow_branch,
+    recurrence_branch,
+    recurrence_not_applicable_reason,
+)
+from .recurrence import AffineRecurrence
+from .schedule import Schedule
+from .statement import StatementLevelSpace
+
+__all__ = [
+    "PartitionStrategy",
+    "PlanConfig",
+    "Plan",
+    "PlanCache",
+    "PlanningContext",
+    "plan",
+    "default_plan_cache",
+    "program_fingerprint",
+    "register_strategy",
+    "get_strategy",
+    "strategy_names",
+    "strategy_table",
+]
+
+_ENGINES = ("auto", "set", "vector")
+
+
+# ---------------------------------------------------------------------------
+# configuration
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PlanConfig:
+    """Every knob of the planning pipeline, in one hashable object.
+
+    ``engine``
+        Representation engine for the dependence analysis and the
+        partitioners: ``"auto"`` (switch to the vectorised path at the bulk
+        threshold), ``"set"`` (original tuple/frozenset path) or
+        ``"vector"`` (force the array path).
+    ``bulk_size_threshold``
+        When not ``None``, overrides
+        :data:`repro.isl.relations.BULK_SIZE_THRESHOLD` for the duration of
+        the planning call (the module constant is restored afterwards).
+    ``force_dataflow``
+        Skip the recurrence-chains strategy even when it applies — the old
+        ``recurrence_chain_partition(force_dataflow=True)`` knob.
+    ``strategies``
+        Explicit strategy preference order (names from the registry); the
+        first applicable one wins.  ``None`` means the registry's default
+        fallback chain.
+    ``rng_seed``
+        Default intra-phase shuffle seed used by :meth:`Plan.execute`
+        (``None`` disables shuffling, matching the executors' contract).
+    """
+
+    engine: str = "auto"
+    bulk_size_threshold: Optional[int] = None
+    force_dataflow: bool = False
+    strategies: Optional[Tuple[str, ...]] = None
+    rng_seed: Optional[int] = 0
+
+    def __post_init__(self):
+        if self.engine not in _ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; use one of {_ENGINES}"
+            )
+        if self.bulk_size_threshold is not None and self.bulk_size_threshold < 1:
+            raise ValueError("bulk_size_threshold must be a positive integer")
+        if self.strategies is not None:
+            object.__setattr__(self, "strategies", tuple(self.strategies))
+
+
+@contextmanager
+def _bulk_threshold(value: Optional[int]):
+    """Temporarily override the global bulk-engine switch point.
+
+    The constant lives in :mod:`repro.isl.relations` and is read at call
+    time by every dual-engine primitive, so patching it there reaches the
+    whole pipeline.  Not thread-safe — planning calls with an override
+    should not run concurrently with other planning calls.
+    """
+    from ..isl import relations
+
+    if value is None:
+        yield
+        return
+    previous = relations.BULK_SIZE_THRESHOLD
+    relations.BULK_SIZE_THRESHOLD = int(value)
+    try:
+        yield
+    finally:
+        relations.BULK_SIZE_THRESHOLD = previous
+
+
+# ---------------------------------------------------------------------------
+# strategy protocol and registry
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PlanningContext:
+    """Everything a strategy may consult: program, params, config, analysis.
+
+    One :class:`~repro.dependence.analysis.DependenceAnalysis` (built with
+    the config's engine) is shared across the whole fallback chain, so a
+    skipped strategy's applicability probe never re-runs the exact analyser
+    for the next candidate.
+    """
+
+    program: LoopProgram
+    params: Dict[str, int]
+    config: PlanConfig
+    analysis: DependenceAnalysis
+
+    @property
+    def is_perfect_nest(self) -> bool:
+        contexts = self.program.statement_contexts()
+        names = contexts[0].index_names if contexts else ()
+        return all(ctx.index_names == names for ctx in contexts)
+
+
+@dataclass(frozen=True)
+class StrategyBuild:
+    """What a strategy hands back to the facade: the schedule plus extras."""
+
+    schedule: Schedule
+    partition: Optional[object] = None  # ThreeSetPartition / PDMPartition / ...
+    chains: Tuple[MonotonicChain, ...] = ()
+    recurrence: Optional[AffineRecurrence] = None
+    statement_space: Optional[StatementLevelSpace] = None
+    rec_result: Optional[RecurrencePartitionResult] = None
+
+
+@dataclass(frozen=True)
+class PartitionStrategy:
+    """One partitioning scheme behind the facade.
+
+    ``applicability(ctx)`` returns ``None`` when the strategy applies or a
+    human-readable reason when it does not (surfaced by ``Plan.explain()``);
+    ``builder(ctx)`` produces the :class:`StrategyBuild` and is only called
+    after the applicability probe passed.
+    """
+
+    name: str
+    scheme: str
+    description: str
+    applicability: Callable[[PlanningContext], Optional[str]]
+    builder: Callable[[PlanningContext], StrategyBuild]
+
+
+_REGISTRY: "OrderedDict[str, PartitionStrategy]" = OrderedDict()
+
+
+def register_strategy(strategy: PartitionStrategy) -> PartitionStrategy:
+    """Add a strategy to the registry; registration order is the default
+    fallback order.  Re-registering a name replaces the entry in place (so a
+    plugin can refine a built-in without reordering the chain)."""
+    _REGISTRY[strategy.name] = strategy
+    return strategy
+
+
+def get_strategy(name: str) -> PartitionStrategy:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown strategy {name!r}; registered: {', '.join(_REGISTRY)}"
+        ) from None
+
+
+def strategy_names() -> Tuple[str, ...]:
+    """Registered strategy names in default fallback order."""
+    return tuple(_REGISTRY)
+
+
+def strategy_table() -> List[Dict[str, str]]:
+    """The registry as rows (name / scheme / description) for docs and reports."""
+    return [
+        {"name": s.name, "scheme": s.scheme, "description": s.description}
+        for s in _REGISTRY.values()
+    ]
+
+
+# ---------------------------------------------------------------------------
+# built-in strategies
+# ---------------------------------------------------------------------------
+
+
+def _rec_applicability(ctx: PlanningContext) -> Optional[str]:
+    if ctx.config.force_dataflow:
+        return "disabled by PlanConfig(force_dataflow=True)"
+    return recurrence_not_applicable_reason(ctx.analysis)
+
+
+def _rec_builder(ctx: PlanningContext) -> StrategyBuild:
+    result = recurrence_branch(
+        ctx.program, ctx.params, ctx.analysis, engine=ctx.config.engine
+    )
+    return StrategyBuild(
+        schedule=result.schedule,
+        partition=result.partition,
+        chains=result.chains,
+        recurrence=result.recurrence,
+        statement_space=result.statement_space,
+        rec_result=result,
+    )
+
+
+def _dataflow_builder(ctx: PlanningContext) -> StrategyBuild:
+    result = dataflow_branch(
+        ctx.program, ctx.params, ctx.analysis, engine=ctx.config.engine
+    )
+    return StrategyBuild(
+        schedule=result.schedule,
+        statement_space=result.statement_space,
+        rec_result=result,
+    )
+
+
+def _always_applicable(ctx: PlanningContext) -> Optional[str]:
+    return None
+
+
+def _perfect_nest_only(ctx: PlanningContext) -> Optional[str]:
+    if not ctx.is_perfect_nest:
+        return "requires a perfect nest (single shared iteration space)"
+    return None
+
+
+def _pdm_builder(ctx: PlanningContext) -> StrategyBuild:
+    from ..baselines.pdm import pdm_partition, pdm_schedule
+
+    schedule = pdm_schedule(ctx.program, ctx.params, ctx.analysis)
+    partition = None
+    if ctx.is_perfect_nest:
+        partition = pdm_partition(
+            ctx.analysis.iteration_space_points, ctx.analysis.iteration_dependences
+        )
+    return StrategyBuild(schedule=schedule, partition=partition)
+
+
+def _pl_builder(ctx: PlanningContext) -> StrategyBuild:
+    from ..baselines.pl import pl_partition, pl_schedule
+
+    schedule = pl_schedule(ctx.program, ctx.params, ctx.analysis)
+    partition = pl_partition(
+        ctx.analysis.iteration_space_points, ctx.analysis.iteration_dependences
+    )
+    return StrategyBuild(schedule=schedule, partition=partition)
+
+
+def _unique_sets_builder(ctx: PlanningContext) -> StrategyBuild:
+    from ..baselines.unique_sets import unique_sets_partition, unique_sets_schedule
+
+    schedule = unique_sets_schedule(ctx.program, ctx.params, ctx.analysis)
+    partition = unique_sets_partition(
+        ctx.analysis.iteration_space_points, ctx.analysis.iteration_dependences
+    )
+    return StrategyBuild(schedule=schedule, partition=partition)
+
+
+def _doacross_builder(ctx: PlanningContext) -> StrategyBuild:
+    from ..baselines.doacross import doacross_schedule
+
+    return StrategyBuild(
+        schedule=doacross_schedule(ctx.program, ctx.params, ctx.analysis)
+    )
+
+
+def _tiling_builder(ctx: PlanningContext) -> StrategyBuild:
+    from ..baselines.tiling import tiling_schedule
+
+    return StrategyBuild(
+        schedule=tiling_schedule(ctx.program, ctx.params, ctx.analysis)
+    )
+
+
+def _innerpar_builder(ctx: PlanningContext) -> StrategyBuild:
+    from ..baselines.innerpar import inner_parallel_schedule
+
+    return StrategyBuild(
+        schedule=inner_parallel_schedule(ctx.program, ctx.params, ctx.analysis)
+    )
+
+
+register_strategy(PartitionStrategy(
+    name="recurrence-chains",
+    scheme="recurrence-chains",
+    description="Algorithm 1, Lemma 1 branch: P1 / monotonic WHILE chains / P3",
+    applicability=_rec_applicability,
+    builder=_rec_builder,
+))
+register_strategy(PartitionStrategy(
+    name="dataflow",
+    scheme="dataflow",
+    description="Algorithm 1, iterative dataflow branch: one DOALL wavefront per peel",
+    applicability=_always_applicable,
+    builder=_dataflow_builder,
+))
+register_strategy(PartitionStrategy(
+    name="pdm",
+    scheme="pdm",
+    description="pseudo-distance-matrix uniformization (Yu & D'Hollander '00)",
+    applicability=_always_applicable,
+    builder=_pdm_builder,
+))
+register_strategy(PartitionStrategy(
+    name="pl",
+    scheme="pl",
+    description="partitioning & labeling / direction-vector uniformization",
+    applicability=_perfect_nest_only,
+    builder=_pl_builder,
+))
+register_strategy(PartitionStrategy(
+    name="unique-sets",
+    scheme="unique-sets",
+    description="unique-sets oriented partitioning (Ju & Chaudhary '97)",
+    applicability=_perfect_nest_only,
+    builder=_unique_sets_builder,
+))
+register_strategy(PartitionStrategy(
+    name="doacross",
+    scheme="doacross",
+    description="BDV-synchronized DOACROSS wavefronts (Tzen & Ni '93)",
+    applicability=_always_applicable,
+    builder=_doacross_builder,
+))
+register_strategy(PartitionStrategy(
+    name="tiling",
+    scheme="min-distance-tiling",
+    description="minimum-distance tiling (Punyamurtula et al. '99)",
+    applicability=_perfect_nest_only,
+    builder=_tiling_builder,
+))
+register_strategy(PartitionStrategy(
+    name="inner-parallel",
+    scheme="inner-parallel",
+    description="outer loop sequential, inner iterations parallel (PAR)",
+    applicability=_always_applicable,
+    builder=_innerpar_builder,
+))
+
+
+# ---------------------------------------------------------------------------
+# the Plan result object
+# ---------------------------------------------------------------------------
+
+
+@dataclass(eq=False)
+class Plan:
+    """The single result object of :func:`plan` — identity-compared so a
+    cache hit is observable as ``plan(...) is plan(...)``."""
+
+    program: LoopProgram
+    params: Dict[str, int]
+    config: PlanConfig
+    strategy: str
+    scheme: str
+    schedule: Schedule
+    analysis: DependenceAnalysis
+    partition: Optional[object] = None
+    chains: Tuple[MonotonicChain, ...] = ()
+    recurrence: Optional[AffineRecurrence] = None
+    statement_space: Optional[StatementLevelSpace] = None
+    skipped: Tuple[Tuple[str, str], ...] = ()
+    timings: Dict[str, float] = field(default_factory=dict)
+    fingerprint: str = ""
+    rec_result: Optional[RecurrencePartitionResult] = None
+
+    # -- structural views -------------------------------------------------------
+
+    @property
+    def num_phases(self) -> int:
+        return self.schedule.num_phases
+
+    def longest_chain(self) -> int:
+        return max((len(c) for c in self.chains), default=0)
+
+    def chain_length_bound(self) -> Optional[int]:
+        """Theorem 1 bound (recurrence-chain plans only; ``None`` otherwise)."""
+        if self.rec_result is None:
+            return None
+        return self.rec_result.chain_length_bound()
+
+    def summary(self) -> Dict[str, object]:
+        """Headline facts; for Algorithm 1 plans this is a superset of the
+        historical ``RecurrencePartitionResult.summary()`` dictionary."""
+        if self.rec_result is not None:
+            info = self.rec_result.summary()
+        else:
+            info = {
+                "program": self.program.name,
+                "scheme": self.scheme,
+                **self.schedule.summary(),
+            }
+        info["strategy"] = self.strategy
+        return info
+
+    def explain(self) -> str:
+        """Why this strategy was chosen, which were skipped and why, and the
+        per-strategy planning times — the replacement for hand-rolled
+        try/except dispatch around :class:`PartitioningNotApplicable`."""
+        lines = [
+            f"plan for {self.program.name!r} (params {self.params or '{}'}, "
+            f"engine {self.config.engine!r}):"
+        ]
+        for name, reason in self.skipped:
+            lines.append(f"  - skipped {name}: {reason}")
+        took = self.timings.get(self.strategy)
+        suffix = f" in {took * 1e3:.2f} ms" if took is not None else ""
+        lines.append(f"  - selected {self.strategy} (scheme {self.scheme!r}){suffix}")
+        lines.append(
+            f"  schedule: {self.schedule.num_phases} phases, "
+            f"{self.schedule.total_work} instances, "
+            f"max parallelism {self.schedule.max_parallelism}"
+        )
+        return "\n".join(lines)
+
+    # -- delegation to runtime / codegen ---------------------------------------
+
+    _UNSET = object()
+
+    def execute(
+        self,
+        threads: Optional[int] = None,
+        store=None,
+        seed=_UNSET,
+        rng=None,
+        lock_free: bool = True,
+    ):
+        """Run the plan's schedule over concrete arrays.
+
+        ``threads=None`` uses the shuffled single-thread executor and returns
+        the final array store; ``threads=k`` uses the real thread pool with
+        phase barriers and returns a
+        :class:`~repro.runtime.threaded.ThreadedRun`.  ``seed`` defaults to
+        ``config.rng_seed``; pass ``seed=None`` (and no ``rng``) to disable
+        intra-phase shuffling.
+        """
+        from ..runtime.executor import execute_schedule
+        from ..runtime.threaded import execute_schedule_threaded
+
+        if seed is Plan._UNSET:
+            seed = self.config.rng_seed
+        if threads is None:
+            return execute_schedule(
+                self.program, self.schedule, self.params, store=store,
+                seed=seed, rng=rng,
+            )
+        return execute_schedule_threaded(
+            self.program, self.schedule, self.params, n_threads=threads,
+            store=store, lock_free=lock_free, seed=seed, rng=rng,
+        )
+
+    def validate(self, seeds: Sequence[int] = (0, 1, 2)):
+        """Validate coverage, dependence safety and exact semantics.
+
+        The dependence relation is picked to match the schedule's level:
+        statement-level plans check against the unified-space relation,
+        iteration-level plans against the combined Rd; imperfect-nest plans
+        without a statement space skip the relation check (coverage and
+        semantics still run).
+        """
+        from ..dependence.analysis import ImperfectNestError
+        from ..runtime.executor import validate_schedule
+
+        if self.statement_space is not None:
+            deps = self.statement_space.rd
+        else:
+            try:
+                deps = self.analysis.iteration_dependences
+            except ImperfectNestError:
+                deps = None
+        return validate_schedule(
+            self.program, self.schedule, self.params, dependences=deps, seeds=seeds
+        )
+
+    def codegen(self, target: str = "python") -> str:
+        """Generate source for the plan.
+
+        ``target="python"`` emits the executable schedule runner
+        (:func:`repro.codegen.python_source.generate_schedule_runner`);
+        ``target="fortran"`` emits the paper-style DOALL/WHILE listing from
+        the symbolic three-set partition (recurrence-chain plans on perfect
+        nests only).
+        """
+        if target == "python":
+            from ..codegen.python_source import generate_schedule_runner
+
+            return generate_schedule_runner(self.program, self.schedule)
+        if target == "fortran":
+            if self.recurrence is None:
+                raise ValueError(
+                    "fortran codegen needs a recurrence-chain plan "
+                    f"(this plan used strategy {self.strategy!r})"
+                )
+            from ..codegen.fortran import rec_partition_listing
+            from .partition import symbolic_three_set_partition
+
+            sym = symbolic_three_set_partition(
+                self.program.iteration_space(), self.analysis.symbolic_relation()
+            )
+            if self.params:
+                sym = sym.bind_parameters(self.params)
+            contexts = self.program.statement_contexts()
+            order = list(contexts[0].index_names)
+            statement = f"{contexts[0].statement.label}({', '.join(order)})"
+            return rec_partition_listing(sym, self.recurrence, statement, order=order)
+        raise ValueError(f"unknown codegen target {target!r}; use 'python' or 'fortran'")
+
+
+# ---------------------------------------------------------------------------
+# fingerprinting and the plan cache
+# ---------------------------------------------------------------------------
+
+
+def program_fingerprint(program: LoopProgram) -> str:
+    """A content hash of a loop program, for in-process plan caching.
+
+    Two structurally identical programs (same name, loop text, parameters and
+    array shapes) share a fingerprint even when they are distinct objects —
+    the serving scenario plans a freshly parsed copy of the same nest and
+    must hit the cache.  Custom statement ``semantics`` callables do not
+    change the *plan*, but the cached :class:`Plan` executes and validates
+    its own ``program``, so they are folded in by identity: two programs
+    only share a fingerprint when each statement carries the same semantics
+    object (or both use the default).  Identity comparison is sound here
+    because a cached entry keeps its program — and hence its semantics
+    objects — alive, so equal ids imply the same live callable; it also
+    makes fingerprints process-local, which is exactly the cache's scope.
+    """
+    digest = hashlib.sha256()
+    digest.update(program.name.encode())
+    digest.update(str(program).encode())
+    digest.update(repr(tuple(program.parameters)).encode())
+    digest.update(repr(sorted(program.array_shapes.items())).encode())
+    for stmt in program.statements():
+        marker = "default" if stmt.semantics is None else f"sem@{id(stmt.semantics)}"
+        digest.update(f"{stmt.label}:{marker};".encode())
+    return digest.hexdigest()
+
+
+CacheKey = Tuple[str, Tuple[Tuple[str, int], ...], PlanConfig]
+
+
+class PlanCache:
+    """A small LRU cache of :class:`Plan` objects.
+
+    Keys are ``(program fingerprint, sorted params, config)``; values are the
+    plans themselves, returned by identity on a hit so repeated requests for
+    the same loop nest skip re-analysis entirely.
+    """
+
+    def __init__(self, maxsize: int = 128):
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[CacheKey, Plan]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key(
+        program: LoopProgram,
+        params: Mapping[str, int],
+        config: PlanConfig,
+        fingerprint: Optional[str] = None,
+    ) -> CacheKey:
+        """The cache key; the single place its shape is defined.
+
+        ``fingerprint`` lets a caller that already hashed the program (e.g.
+        :func:`plan`) skip re-hashing it.
+        """
+        return (
+            fingerprint if fingerprint is not None else program_fingerprint(program),
+            tuple(sorted((str(k), int(v)) for k, v in params.items())),
+            config,
+        )
+
+    def get(self, key: CacheKey) -> Optional[Plan]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: CacheKey, value: Plan) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> Dict[str, int]:
+        return {"size": len(self), "hits": self.hits, "misses": self.misses}
+
+
+_DEFAULT_CACHE = PlanCache()
+
+
+def default_plan_cache() -> PlanCache:
+    """The process-wide cache used by ``plan(..., cache=True)``."""
+    return _DEFAULT_CACHE
+
+
+# ---------------------------------------------------------------------------
+# the entry point
+# ---------------------------------------------------------------------------
+
+
+def plan(
+    program: LoopProgram,
+    params: Optional[Mapping[str, int]] = None,
+    config: Optional[PlanConfig] = None,
+    cache=True,
+) -> Plan:
+    """Plan a parallel execution of ``program`` at concrete parameter values.
+
+    Walks the configured strategy chain (default: the full registry order),
+    picks the first applicable strategy, and returns a :class:`Plan` that
+    records the schedule, the scheme-specific partition diagnostics, and why
+    earlier strategies were skipped.  Raises
+    :class:`~repro.core.partitioner.PartitioningNotApplicable` when no
+    strategy in the chain applies, with every skip reason in the message.
+
+    ``cache`` is ``True`` (use the process-default :class:`PlanCache`),
+    ``False``/``None`` (plan fresh), or a :class:`PlanCache` instance.  On a
+    hit the *identical* plan object is returned.
+    """
+    params = dict(params or {})
+    config = config or PlanConfig()
+
+    if cache is True:
+        cache_obj: Optional[PlanCache] = _DEFAULT_CACHE
+    elif isinstance(cache, PlanCache):
+        cache_obj = cache
+    elif cache:
+        raise TypeError("cache must be True, False/None, or a PlanCache instance")
+    else:
+        cache_obj = None
+
+    fingerprint = program_fingerprint(program)
+    key: Optional[CacheKey] = None
+    if cache_obj is not None:
+        key = PlanCache.key(program, params, config, fingerprint=fingerprint)
+        hit = cache_obj.get(key)
+        if hit is not None:
+            return hit
+
+    order = config.strategies if config.strategies is not None else strategy_names()
+    if not order:
+        raise ValueError("PlanConfig.strategies must name at least one strategy")
+
+    skipped: List[Tuple[str, str]] = []
+    timings: Dict[str, float] = {}
+    t_start = time.perf_counter()
+    with _bulk_threshold(config.bulk_size_threshold):
+        ctx = PlanningContext(
+            program=program,
+            params=params,
+            config=config,
+            analysis=DependenceAnalysis(program, params, engine=config.engine),
+        )
+        chosen: Optional[PartitionStrategy] = None
+        build: Optional[StrategyBuild] = None
+        for name in order:
+            strategy = get_strategy(name)
+            reason = strategy.applicability(ctx)
+            if reason is not None:
+                skipped.append((name, reason))
+                continue
+            t0 = time.perf_counter()
+            build = strategy.builder(ctx)
+            timings[name] = time.perf_counter() - t0
+            chosen = strategy
+            break
+    timings["total"] = time.perf_counter() - t_start
+
+    if chosen is None or build is None:
+        detail = "; ".join(f"{name}: {reason}" for name, reason in skipped)
+        raise PartitioningNotApplicable(
+            f"no strategy in {tuple(order)} applies to {program.name!r} ({detail})"
+        )
+
+    result = Plan(
+        program=program,
+        params=params,
+        config=config,
+        strategy=chosen.name,
+        scheme=build.schedule.meta.get("scheme", chosen.scheme),
+        schedule=build.schedule,
+        analysis=ctx.analysis,
+        partition=build.partition,
+        chains=build.chains,
+        recurrence=build.recurrence,
+        statement_space=build.statement_space,
+        skipped=tuple(skipped),
+        timings=timings,
+        fingerprint=fingerprint,
+        rec_result=build.rec_result,
+    )
+    if cache_obj is not None and key is not None:
+        cache_obj.put(key, result)
+    return result

@@ -27,6 +27,7 @@ serializing most of the phase.
 
 from __future__ import annotations
 
+import random
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import ExitStack
@@ -138,33 +139,53 @@ def execute_schedule_threaded(
     n_threads: int = 4,
     store: Optional[ArrayStore] = None,
     lock_free: bool = True,
+    seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
 ) -> ThreadedRun:
     """Execute a schedule with a real thread pool and phase barriers.
 
     ``lock_free=False`` guards every instance with the per-array locks
     described in the module docstring; the default trusts the schedule's
     phase structure (as the paper's generated OpenMP code does).
+
+    ``seed``/``rng`` mirror :func:`~repro.runtime.executor.execute_schedule`:
+    when either is given, each phase's units (or array rows) are shuffled
+    with a private ``random.Random`` before the round-robin distribution, so
+    the worker assignment — not just the interleaving — varies between runs.
+    The default (both ``None``) keeps the historical deterministic
+    distribution; ``Plan.execute(threads=…)`` passes its configured seed so
+    both executors are driven uniformly.
     """
     if n_threads < 1:
         raise ValueError("n_threads must be >= 1")
     store = store if store is not None else make_store(program)
     contexts = {ctx.statement.label: ctx for ctx in program.statement_contexts()}
     locks = None if lock_free else {name: threading.Lock() for name in store}
+    shuffle = rng is not None or seed is not None
+    if shuffle and rng is None:
+        rng = random.Random(seed)
     instances = 0
     with ThreadPoolExecutor(max_workers=n_threads) as pool:
         for phase in schedule.phases:
             if isinstance(phase, ArrayPhase):
                 # Array phases: round-robin the point rows themselves — each
                 # worker gets a strided view, no unit objects are built.
+                points = phase.points
+                if shuffle:
+                    order = list(range(len(points)))
+                    rng.shuffle(order)
+                    points = points[np.asarray(order, dtype=np.int64)]
                 futures = [
                     pool.submit(_run_rows, phase.label, rows, contexts, store, locks)
                     for rows in (
-                        phase.points[k::n_threads] for k in range(n_threads)
+                        points[k::n_threads] for k in range(n_threads)
                     )
                     if len(rows)
                 ]
             else:
                 units = list(phase.units)
+                if shuffle:
+                    rng.shuffle(units)
                 # Round-robin the units across workers: deterministic
                 # distribution, arbitrary execution interleaving.
                 slices: List[List] = [units[k::n_threads] for k in range(n_threads)]

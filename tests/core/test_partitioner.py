@@ -54,9 +54,9 @@ class TestScheduleSafety:
     def test_schedule_is_semantically_correct(self, prog):
         result = recurrence_chain_partition(prog)
         deps = (
-            result.analysis.iteration_dependences
-            if result.partition is not None
-            else result.statement_space.rd
+            result.statement_space.rd
+            if result.statement_space is not None
+            else result.analysis.iteration_dependences
         )
         report = validate_schedule(prog, result.schedule, {}, dependences=deps, seeds=(0, 1))
         assert report.ok, str(report)
@@ -86,10 +86,12 @@ class TestScheduleSafety:
         rng = random.Random(seed)
         spec = random_coupled_loop(rng, n1=6, n2=6, force_full_rank=True)
         result = recurrence_chain_partition(spec.program)
+        # Single-statement dataflow results stay at iteration level (the §3.3
+        # statement space is only built for multi-statement programs).
         deps = (
-            result.analysis.iteration_dependences
-            if result.partition is not None
-            else result.statement_space.rd
+            result.statement_space.rd
+            if result.statement_space is not None
+            else result.analysis.iteration_dependences
         )
         report = validate_schedule(spec.program, result.schedule, {}, dependences=deps, seeds=(0,))
         assert report.ok, f"seed {seed}: {report}"

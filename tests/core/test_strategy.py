@@ -1,0 +1,315 @@
+"""Tests for the unified planning facade (repro.core.strategy).
+
+Covers the acceptance contract of the facade:
+
+* every paper workload plans successfully through ``plan()`` with the
+  default config, and the chosen strategy matches the historical
+  hand-rolled dispatch (``recurrence_chain_partition``'s two branches);
+* ``plan()`` output is bit-identical (phase names + instance sequences) to
+  the pre-facade entry points, for Algorithm 1 and for all six baselines;
+* cached re-plans return the *identical* ``Plan`` object;
+* the fallback chain records why strategies were skipped, honours the
+  configured preference order, and raises
+  :class:`PartitioningNotApplicable` with every reason when nothing applies.
+"""
+
+import pytest
+
+from repro.baselines import (
+    PLPartition,
+    doacross_schedule,
+    inner_parallel_schedule,
+    pdm_schedule,
+    pl_schedule,
+    tiling_schedule,
+    unique_sets_schedule,
+)
+from repro.core import recurrence_chain_partition
+from repro.core.partitioner import PartitioningNotApplicable
+from repro.core.strategy import (
+    PlanCache,
+    PlanConfig,
+    default_plan_cache,
+    plan,
+    program_fingerprint,
+    strategy_names,
+    strategy_table,
+)
+from repro.workloads.examples import (
+    cholesky_loop,
+    example2_loop,
+    example3_loop,
+    figure1_loop,
+    figure2_loop,
+)
+
+#: Every paper workload (small sizes) with the strategy the old dispatch chose.
+WORKLOADS = [
+    ("figure1", lambda: figure1_loop(10, 10), "recurrence-chains"),
+    ("figure2", lambda: figure2_loop(20), "recurrence-chains"),
+    ("example2", lambda: example2_loop(12), "recurrence-chains"),
+    ("example3", lambda: example3_loop(12), "dataflow"),
+    ("cholesky", lambda: cholesky_loop(nmat=1, m=2, n=6, nrhs=1), "dataflow"),
+]
+
+BASELINES = [
+    ("pdm", pdm_schedule),
+    ("pl", pl_schedule),
+    ("unique-sets", unique_sets_schedule),
+    ("doacross", doacross_schedule),
+    ("tiling", tiling_schedule),
+    ("inner-parallel", inner_parallel_schedule),
+]
+
+
+def schedule_mismatches(a, b):
+    """Phase-by-phase comparison (names + exact instance sequences)."""
+    problems = []
+    if a.num_phases != b.num_phases:
+        return [f"phase count {a.num_phases} != {b.num_phases}"]
+    for pa, pb in zip(a.phases, b.phases):
+        if pa.name != pb.name:
+            problems.append(f"phase name {pa.name!r} != {pb.name!r}")
+        if pa.instances() != pb.instances():
+            problems.append(f"instances differ in phase {pa.name!r}")
+    return problems
+
+
+class TestFallbackChain:
+    @pytest.mark.parametrize(
+        "factory,expected", [(f, e) for _, f, e in WORKLOADS],
+        ids=[name for name, _, _ in WORKLOADS],
+    )
+    def test_default_plan_matches_old_dispatch(self, factory, expected):
+        prog = factory()
+        p = plan(prog, cache=False)
+        assert p.strategy == expected
+        old = recurrence_chain_partition(factory())
+        assert p.scheme == old.scheme
+        assert schedule_mismatches(p.schedule, old.schedule) == []
+        assert p.validate(seeds=(0,)).ok
+
+    @pytest.mark.parametrize(
+        "factory", [f for _, f, _ in WORKLOADS], ids=[n for n, _, _ in WORKLOADS]
+    )
+    def test_cached_replan_is_identical(self, factory):
+        cache = PlanCache()
+        first = plan(factory(), cache=cache)
+        again = plan(factory(), cache=cache)  # a *fresh* equal program object
+        assert again is first
+        assert cache.stats() == {"size": 1, "hits": 1, "misses": 1}
+
+    def test_skip_reasons_are_recorded(self):
+        p = plan(example3_loop(10), cache=False)
+        assert p.strategy == "dataflow"
+        skipped = dict(p.skipped)
+        assert "recurrence-chains" in skipped
+        assert "coupled reference pair" in skipped["recurrence-chains"]
+        assert "recurrence-chains" in p.explain()
+
+    def test_force_dataflow_skips_chains(self):
+        p = plan(
+            figure1_loop(10, 10),
+            config=PlanConfig(force_dataflow=True),
+            cache=False,
+        )
+        assert p.strategy == "dataflow"
+        assert dict(p.skipped)["recurrence-chains"] == (
+            "disabled by PlanConfig(force_dataflow=True)"
+        )
+        old = recurrence_chain_partition(figure1_loop(10, 10), force_dataflow=True)
+        assert schedule_mismatches(p.schedule, old.schedule) == []
+
+    def test_no_applicable_strategy_raises_with_reasons(self):
+        with pytest.raises(PartitioningNotApplicable) as exc:
+            plan(
+                cholesky_loop(nmat=1, m=2, n=4, nrhs=1),
+                config=PlanConfig(strategies=("recurrence-chains", "pl")),
+                cache=False,
+            )
+        message = str(exc.value)
+        assert "recurrence-chains" in message and "pl" in message
+        assert "perfect nest" in message
+
+    def test_unknown_strategy_name(self):
+        with pytest.raises(KeyError):
+            plan(
+                figure2_loop(8),
+                config=PlanConfig(strategies=("no-such-scheme",)),
+                cache=False,
+            )
+
+    def test_registry_covers_all_seven_schemes(self):
+        names = strategy_names()
+        assert names[:2] == ("recurrence-chains", "dataflow")  # Algorithm 1 first
+        for name, _ in BASELINES:
+            assert name in names
+        table = strategy_table()
+        assert {row["name"] for row in table} == set(names)
+        assert all(row["description"] for row in table)
+
+
+class TestBaselineStrategies:
+    @pytest.mark.parametrize("name,schedule_fn", BASELINES, ids=[n for n, _ in BASELINES])
+    def test_pinned_strategy_matches_old_entry_point(self, name, schedule_fn):
+        prog = figure1_loop(8, 8)
+        p = plan(prog, config=PlanConfig(strategies=(name,)), cache=False)
+        assert p.strategy == name
+        old = schedule_fn(figure1_loop(8, 8), {})
+        assert schedule_mismatches(p.schedule, old) == []
+        assert p.validate(seeds=(0,)).ok
+
+    def test_pl_partition_reports_its_own_scheme(self):
+        p = plan(
+            figure1_loop(8, 8), config=PlanConfig(strategies=("pl",)), cache=False
+        )
+        assert isinstance(p.partition, PLPartition)
+        assert p.partition.scheme == "pl"
+        pdm = plan(
+            figure1_loop(8, 8), config=PlanConfig(strategies=("pdm",)), cache=False
+        )
+        assert pdm.partition.scheme == "pdm"
+        assert not isinstance(pdm.partition, PLPartition)
+
+
+class TestPlanConfig:
+    def test_engine_validation(self):
+        with pytest.raises(ValueError):
+            PlanConfig(engine="banana")
+        with pytest.raises(ValueError):
+            PlanConfig(bulk_size_threshold=0)
+
+    def test_engines_produce_identical_schedules(self):
+        set_plan = plan(
+            figure1_loop(10, 10), config=PlanConfig(engine="set"), cache=False
+        )
+        vec_plan = plan(
+            figure1_loop(10, 10), config=PlanConfig(engine="vector"), cache=False
+        )
+        assert schedule_mismatches(set_plan.schedule, vec_plan.schedule) == []
+
+    def test_bulk_threshold_override_is_scoped(self):
+        from repro.isl import relations
+
+        before = relations.BULK_SIZE_THRESHOLD
+        p = plan(
+            figure1_loop(10, 10),
+            config=PlanConfig(bulk_size_threshold=1),
+            cache=False,
+        )
+        # threshold=1 forces the vector engine even on this 100-point space …
+        assert p.partition.array_backed
+        # … and the global constant is restored afterwards.
+        assert relations.BULK_SIZE_THRESHOLD == before
+
+    def test_strategy_order_is_honoured(self):
+        p = plan(
+            figure1_loop(8, 8),
+            config=PlanConfig(strategies=("tiling", "recurrence-chains")),
+            cache=False,
+        )
+        assert p.strategy == "tiling"
+
+    def test_configs_cache_separately(self):
+        cache = PlanCache()
+        a = plan(figure2_loop(10), cache=cache)
+        b = plan(
+            figure2_loop(10), config=PlanConfig(strategies=("pdm",)), cache=cache
+        )
+        assert a is not b and len(cache) == 2
+
+
+class TestPlanCacheMechanics:
+    def test_lru_eviction(self):
+        cache = PlanCache(maxsize=2)
+        plans = [plan(figure2_loop(n), cache=cache) for n in (6, 7, 8)]
+        assert len(cache) == 2
+        # the oldest entry (n=6) was evicted: re-planning misses and rebuilds
+        rebuilt = plan(figure2_loop(6), cache=cache)
+        assert rebuilt is not plans[0]
+
+    def test_fingerprint_is_content_based(self):
+        assert program_fingerprint(figure1_loop(9, 9)) == program_fingerprint(
+            figure1_loop(9, 9)
+        )
+        assert program_fingerprint(figure1_loop(9, 9)) != program_fingerprint(
+            figure1_loop(9, 10)
+        )
+
+    def test_fingerprint_distinguishes_custom_semantics(self):
+        """Same loop text with different statement semantics must not share a
+        cached plan — the cached Plan executes *its* program's semantics."""
+        import numpy as np
+
+        from repro.ir.builder import aref, assign, loop, program
+        from repro.ir.semantics import sum_semantics
+
+        def build(semantics):
+            body = assign(
+                "s", aref("x", "I+1"), [aref("x", "I")], semantics=semantics
+            )
+            return program(
+                "sem-probe", loop("I", 1, 8, body), array_shapes={"x": (10,)}
+            )
+
+        cache = PlanCache()
+        default_plan = plan(build(None), cache=cache)
+        summing_plan = plan(build(sum_semantics), cache=cache)
+        assert summing_plan is not default_plan
+        assert len(cache) == 2
+        # same semantics object again: now it hits
+        assert plan(build(sum_semantics), cache=cache) is summing_plan
+        # and the cached plans execute their own program's semantics
+        assert not np.array_equal(
+            default_plan.execute()["x"], summing_plan.execute()["x"]
+        )
+
+    def test_default_cache_is_shared(self):
+        cache = default_plan_cache()
+        p = plan(figure2_loop(9))
+        assert plan(figure2_loop(9)) is p
+        assert cache.stats()["hits"] >= 1
+
+
+class TestPlanObject:
+    def test_execute_matches_sequential(self):
+        import numpy as np
+
+        from repro.runtime import execute_sequential
+
+        prog = figure1_loop(10, 10)
+        p = plan(prog, cache=False)
+        ref = execute_sequential(prog, {})
+        store = p.execute()
+        assert np.array_equal(ref["a"], store["a"])
+        run = p.execute(threads=3)
+        assert np.array_equal(ref["a"], run.store["a"])
+        assert run.instances_executed == p.schedule.total_work
+
+    def test_summary_superset_of_old_summary(self):
+        prog = figure1_loop(10, 10)
+        p = plan(prog, cache=False)
+        old = recurrence_chain_partition(figure1_loop(10, 10)).summary()
+        new = p.summary()
+        for key, value in old.items():
+            assert new[key] == value
+        assert new["strategy"] == "recurrence-chains"
+
+    def test_codegen_targets(self):
+        p = plan(figure1_loop(6, 6), cache=False)
+        assert "def run_schedule" in p.codegen()
+        assert "DOALL" in p.codegen(target="fortran")
+        with pytest.raises(ValueError):
+            p.codegen(target="cobol")
+        baseline = plan(
+            figure1_loop(6, 6), config=PlanConfig(strategies=("pdm",)), cache=False
+        )
+        with pytest.raises(ValueError):
+            baseline.codegen(target="fortran")
+
+    def test_chain_diagnostics(self):
+        p = plan(figure1_loop(20, 30), cache=False)
+        assert p.chains and p.recurrence is not None
+        assert p.longest_chain() <= p.chain_length_bound()
+        df = plan(example3_loop(10), cache=False)
+        assert df.chain_length_bound() is None and df.longest_chain() == 0

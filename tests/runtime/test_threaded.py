@@ -35,6 +35,37 @@ class TestThreadedExecution:
         with pytest.raises(ValueError):
             execute_schedule_threaded(prog, result.schedule, {}, n_threads=0)
 
+    def test_shuffled_distribution_matches_sequential(self):
+        """seed/rng (aligned with execute_schedule's signature) shuffle the
+        worker distribution without changing the result."""
+        import random
+
+        prog = figure1_loop(10, 12)
+        result = recurrence_chain_partition(prog)
+        ref = execute_sequential(prog, {})
+        for kwargs in ({"seed": 7}, {"rng": random.Random(123)}):
+            run = execute_schedule_threaded(
+                prog, result.schedule, {}, n_threads=3, **kwargs
+            )
+            assert np.array_equal(ref["a"], run.store["a"]), kwargs
+            assert run.instances_executed == result.schedule.total_work
+
+    def test_shuffled_array_phase_matches_sequential(self):
+        """ArrayPhase row permutation under seed keeps results exact."""
+        from repro.core import ArrayPhase, PlanConfig, plan
+        from repro.workloads.synthetic import large_uniform_loop
+
+        prog = large_uniform_loop(12, 9)
+        p = plan(
+            prog,
+            config=PlanConfig(engine="vector", strategies=("dataflow",)),
+            cache=False,
+        )
+        assert any(isinstance(ph, ArrayPhase) for ph in p.schedule.phases)
+        ref = execute_sequential(prog, {})
+        run = execute_schedule_threaded(prog, p.schedule, {}, n_threads=4, seed=1)
+        assert np.array_equal(ref["x"], run.store["x"])
+
     @pytest.mark.parametrize("n_threads", [1, 4])
     def test_locked_execution_matches_sequential(self, n_threads):
         """lock_free=False serializes per-array but must not change results."""
