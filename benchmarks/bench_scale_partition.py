@@ -27,6 +27,18 @@ array-backed path, at two levels.
   wraps, and a cached re-plan is ≥10× faster than cold *and* returns the
   identical :class:`~repro.core.strategy.Plan` object.
 
+* ``test_statement_level_speedup`` — the §3.3 statement-level pipeline on the
+  multi-statement triangular imperfect nest
+  (:func:`repro.workloads.synthetic.large_cholesky_nest`): full
+  program → statement-level Rd → wavefront schedule, tuple path
+  (``engine="set"``: per-instance unify loop, Python set of unified pairs,
+  set peeling, per-point block units) vs array path (``engine="vector"``:
+  one ``unify_array`` interleave per statement, ``PointCodec`` orientation,
+  CSR peeling over unified rows,
+  :class:`~repro.core.schedule.UnifiedArrayPhase` schedule).  Contract: ≥5×
+  at 10⁵ statement instances, bit-identical phase names and instance
+  sequences.
+
 Every sweep's rows are recorded in ``BENCH_scale.json`` at the repository
 root — the perf-trajectory file CI regenerates on each run.
 """
@@ -253,6 +265,52 @@ def test_plan_facade_overhead(report):
     )
     assert t_first / t_cached >= 10.0, (
         f"cached re-plan only {t_first / t_cached:.1f}x faster than cold"
+    )
+
+
+def test_statement_level_speedup(report):
+    """§3.3 contract: the array-native statement level is ≥5× the tuple path
+    at 10⁵ statement instances, with bit-identical schedules."""
+    from repro.workloads.synthetic import large_cholesky_nest
+
+    set_config = PlanConfig(engine="set", strategies=("dataflow",))
+    vec_config = PlanConfig(engine="vector", strategies=("dataflow",))
+
+    rows = []
+    #: n sweep of the triangular nest: ~10³, ~10⁴ and ~10⁵ statement instances.
+    for n in (45, 141, 447):
+        t0 = time.perf_counter()
+        vec_plan = plan(large_cholesky_nest(n), config=vec_config, cache=False)
+        t_vector = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        set_plan = plan(large_cholesky_nest(n), config=set_config, cache=False)
+        t_set = time.perf_counter() - t0
+        # The two engines must agree exactly before their timings mean anything:
+        # same unified space, same Rd, same wavefronts, same instance order.
+        assert set_plan.statement_space.unified == vec_plan.statement_space.unified
+        assert set_plan.statement_space.rd == vec_plan.statement_space.rd
+        assert set_plan.schedule.num_phases == vec_plan.schedule.num_phases
+        for ps, pv in zip(set_plan.schedule.phases, vec_plan.schedule.phases):
+            assert ps.name == pv.name
+            assert ps.instances() == pv.instances()
+        rows.append(
+            {
+                "instances": len(vec_plan.statement_space),
+                "unified_pairs": len(vec_plan.statement_space.rd),
+                "wavefronts": vec_plan.schedule.num_phases,
+                "t_set_s": round(t_set, 4),
+                "t_vector_s": round(t_vector, 4),
+                "speedup": round(t_set / t_vector, 2),
+            }
+        )
+    report("Statement-level sweep: program -> unified Rd -> schedule", rows)
+    record_bench("statement_level", rows)
+
+    big = rows[-1]
+    assert big["instances"] >= 10**5
+    assert big["speedup"] >= 5.0, (
+        f"array-native statement level only {big['speedup']}x faster "
+        f"at {big['instances']} statement instances"
     )
 
 

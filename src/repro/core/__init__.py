@@ -50,8 +50,20 @@ from .recurrence import (
     iteration_space_diameter,
     theorem1_bound,
 )
-from .schedule import ArrayPhase, ExecutionUnit, Instance, ParallelPhase, Schedule
-from .statement import StatementLevelSpace, build_statement_space
+from .schedule import (
+    ArrayPhase,
+    ExecutionUnit,
+    Instance,
+    ParallelPhase,
+    Schedule,
+    UnifiedArrayPhase,
+)
+from .statement import (
+    StatementLevelSpace,
+    UnifiedIndexMap,
+    build_statement_space,
+    statement_dataflow_schedule,
+)
 
 # Imported last: the strategy registry wraps the baselines package, which in
 # turn imports repro.core submodules — by this point they are all loaded.
@@ -87,7 +99,9 @@ __all__ = [
     "dataflow_partition",
     "dataflow_schedule",
     "StatementLevelSpace",
+    "UnifiedIndexMap",
     "build_statement_space",
+    "statement_dataflow_schedule",
     "recurrence_chain_partition",
     "recurrence_branch",
     "dataflow_branch",
@@ -108,6 +122,7 @@ __all__ = [
     "Schedule",
     "ParallelPhase",
     "ArrayPhase",
+    "UnifiedArrayPhase",
     "ExecutionUnit",
     "Instance",
 ]

@@ -52,7 +52,11 @@ from .dataflow import dataflow_partition, dataflow_schedule
 from .partition import ThreeSetPartition, three_set_partition
 from .recurrence import AffineRecurrence, iteration_space_diameter, theorem1_bound
 from .schedule import ArrayPhase, ExecutionUnit, Instance, ParallelPhase, Schedule
-from .statement import StatementLevelSpace, build_statement_space
+from .statement import (
+    StatementLevelSpace,
+    build_statement_space,
+    statement_dataflow_schedule,
+)
 
 __all__ = [
     "PartitioningNotApplicable",
@@ -254,9 +258,12 @@ def dataflow_branch(
     Needs concrete bounds, which ``params`` guarantees here
     (:class:`~repro.dependence.analysis.DependenceAnalysis` refuses unbound
     parameters).  Single-statement programs (always a perfect nest) are peeled
-    directly on the iteration-level relation — at scale this keeps the branch
-    on the array-native path end to end; multi-statement and imperfect nests
-    go through the statement-level unified space of §3.3.
+    directly on the iteration-level relation; multi-statement and imperfect
+    nests go through the statement-level unified space of §3.3, which is
+    itself array-native — the peeling consumes the unified ``(n, width)`` rows
+    and the schedule stays in :class:`~repro.core.schedule.UnifiedArrayPhase`
+    form — so the branch is array-native end to end either way (``engine="set"``
+    forces the historical tuple path everywhere).
     """
     params = dict(params or {})
     analysis = analysis or DependenceAnalysis(program, params, engine=engine)
@@ -286,15 +293,24 @@ def dataflow_branch(
             statement_space=None,
             analysis=analysis,
         )
-    stmt_space = build_statement_space(program, params, analysis)
-    instances_of = stmt_space.instance_of()
-    schedule = dataflow_schedule(
-        f"{program.name}-REC-dataflow",
-        stmt_space.points,
-        stmt_space.rd,
-        instances_of=instances_of,
-        engine=engine,
-    )
+    stmt_space = build_statement_space(program, params, analysis, engine=engine)
+    if engine == "set":
+        # The original tuple path: frozenset of unified points, per-point
+        # block units — kept as the measurable baseline.
+        schedule = dataflow_schedule(
+            f"{program.name}-REC-dataflow",
+            stmt_space.points,
+            stmt_space.rd,
+            instances_of=stmt_space.instance_of(),
+            engine="set",
+        )
+    else:
+        # Array-native statement level: the partitioner consumes the unified
+        # (n, width) rows directly and the schedule stays in array form
+        # (UnifiedArrayPhase) — no frozenset materialisation at scale.
+        schedule = statement_dataflow_schedule(
+            f"{program.name}-REC-dataflow", stmt_space, engine=engine
+        )
     return RecurrencePartitionResult(
         program=program,
         params=params,

@@ -37,7 +37,14 @@ import numpy as np
 
 from ..isl.relations import FiniteRelation, readonly_view
 
-__all__ = ["Instance", "ExecutionUnit", "ParallelPhase", "ArrayPhase", "Schedule"]
+__all__ = [
+    "Instance",
+    "ExecutionUnit",
+    "ParallelPhase",
+    "ArrayPhase",
+    "UnifiedArrayPhase",
+    "Schedule",
+]
 
 Point = Tuple[int, ...]
 #: A statement instance: (statement label, iteration vector).
@@ -192,6 +199,97 @@ class ArrayPhase:
         return f"ArrayPhase({self.name!r}, {self.label!r}, <{len(self)} points>)"
 
 
+class UnifiedArrayPhase:
+    """A DOALL phase over *statement instances* held as parallel arrays.
+
+    The statement-level analogue of :class:`ArrayPhase` (§3.3): ``rows`` are
+    unified index vectors — ``(s0, i1, s1, ..., il, sl, 0, ...)`` — and
+    ``stmt_ids`` names each row's statement (an index into the ``labels``
+    table, whose per-statement nesting depths are in ``depths``).  The
+    iteration vector of row ``r`` is its odd columns up to the statement's
+    depth: ``rows[r, 1 : 2·depth : 2]``.
+
+    Semantically identical to a :class:`ParallelPhase` of ``n``
+    single-instance block units in row order — :attr:`units` materialises
+    exactly that tuple lazily, so validators, the simulator and codegen work
+    unchanged — but the executors recognise the class and iterate the rows
+    directly.
+    """
+
+    __slots__ = ("name", "labels", "depths", "stmt_ids", "rows", "_units")
+
+    def __init__(
+        self,
+        name: str,
+        labels: Sequence[str],
+        depths: Sequence[int],
+        stmt_ids: np.ndarray,
+        rows: np.ndarray,
+    ):
+        self.name = name
+        self.labels = tuple(labels)
+        self.depths = tuple(int(d) for d in depths)
+        if len(self.labels) != len(self.depths):
+            raise ValueError("labels and depths must be parallel")
+        ids = np.asarray(stmt_ids, dtype=np.int64)
+        pts = np.asarray(rows, dtype=np.int64)
+        if ids.ndim != 1 or pts.ndim != 2 or len(ids) != len(pts):
+            raise ValueError("stmt_ids must be (n,) parallel to (n, width) rows")
+        # Stored read-only: the lazy `units` view caches tuples of this data.
+        self.stmt_ids = readonly_view(ids)
+        self.rows = readonly_view(pts)
+        self._units: Tuple[ExecutionUnit, ...] | None = None
+
+    @property
+    def units(self) -> Tuple[ExecutionUnit, ...]:
+        if self._units is None:
+            self._units = tuple(
+                ExecutionUnit.block([inst]) for inst in self.instances()
+            )
+        return self._units
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    @property
+    def work(self) -> int:
+        return len(self.rows)
+
+    @property
+    def span(self) -> int:
+        return 1 if len(self.rows) else 0
+
+    def instances(self) -> List[Instance]:
+        labels, depths = self.labels, self.depths
+        return [
+            (labels[sid], tuple(row[1 : 2 * depths[sid] : 2]))
+            for sid, row in zip(self.stmt_ids.tolist(), self.rows.tolist())
+        ]
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, UnifiedArrayPhase):
+            return (
+                self.name == other.name
+                and self.labels == other.labels
+                and self.depths == other.depths
+                and np.array_equal(self.stmt_ids, other.stmt_ids)
+                and np.array_equal(self.rows, other.rows)
+            )
+        if isinstance(other, ParallelPhase):
+            return self.name == other.name and self.units == other.units
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        # Must match ParallelPhase's dataclass hash (see ArrayPhase.__hash__).
+        return hash((self.name, self.units))
+
+    def __repr__(self) -> str:
+        return (
+            f"UnifiedArrayPhase({self.name!r}, <{len(self)} instances, "
+            f"{len(self.labels)} statements>)"
+        )
+
+
 @dataclass(frozen=True)
 class Schedule:
     """An ordered sequence of parallel phases separated by barriers."""
@@ -231,6 +329,40 @@ class Schedule:
             chunk = rows[int(offsets[level]) : int(offsets[level + 1])]
             if len(chunk):
                 phases.append(ArrayPhase(f"{phase_prefix}-{level}", label, chunk))
+        return Schedule(name, tuple(phases), dict(meta))
+
+    @staticmethod
+    def from_unified_arrays(
+        name: str,
+        level_offsets: np.ndarray,
+        rows: np.ndarray,
+        stmt_ids: np.ndarray,
+        labels: Sequence[str],
+        depths: Sequence[int],
+        phase_prefix: str = "wavefront",
+        **meta,
+    ) -> "Schedule":
+        """A statement-level wavefront schedule from CSR-style arrays.
+
+        The §3.3 twin of :meth:`from_arrays`: ``rows`` holds unified index
+        vectors and ``stmt_ids`` (parallel to ``rows``) the statement of each
+        instance; level ``k`` owns rows ``level_offsets[k]:level_offsets[k+1]``
+        and becomes one :class:`UnifiedArrayPhase`.  Empty levels are dropped.
+        """
+        offsets, pts = validate_csr(level_offsets, rows)
+        ids = np.asarray(stmt_ids, dtype=np.int64)
+        if ids.ndim != 1 or len(ids) != len(pts):
+            raise ValueError("stmt_ids must be (n,) parallel to the point rows")
+        phases = []
+        for level in range(len(offsets) - 1):
+            lo, hi = int(offsets[level]), int(offsets[level + 1])
+            if hi > lo:
+                phases.append(
+                    UnifiedArrayPhase(
+                        f"{phase_prefix}-{level}", labels, depths,
+                        ids[lo:hi], pts[lo:hi],
+                    )
+                )
         return Schedule(name, tuple(phases), dict(meta))
 
     @staticmethod

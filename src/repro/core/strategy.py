@@ -443,7 +443,9 @@ class Plan:
 
     def summary(self) -> Dict[str, object]:
         """Headline facts; for Algorithm 1 plans this is a superset of the
-        historical ``RecurrencePartitionResult.summary()`` dictionary."""
+        historical ``RecurrencePartitionResult.summary()`` dictionary.
+        Statement-level plans (§3.3) additionally report the unified space:
+        instance count, unified vector width, and dependence count."""
         if self.rec_result is not None:
             info = self.rec_result.summary()
         else:
@@ -453,6 +455,10 @@ class Plan:
                 **self.schedule.summary(),
             }
         info["strategy"] = self.strategy
+        if self.statement_space is not None:
+            info["n_statement_instances"] = len(self.statement_space)
+            info["unified_width"] = self.statement_space.width
+            info["n_unified_dependences"] = len(self.statement_space.rd)
         return info
 
     def explain(self) -> str:

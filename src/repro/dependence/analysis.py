@@ -37,7 +37,7 @@ from typing import Dict, List, Mapping, Optional, Tuple
 import numpy as np
 
 from ..ir.program import LoopProgram
-from ..isl.relations import FiniteRelation, UnionRelation
+from ..isl.relations import FiniteRelation, UnionRelation, readonly_view
 from .exact import enumerate_domain, exact_pair_dependences
 from .pair import ReferencePair
 from .symbolic import symbolic_dependence_relation
@@ -134,14 +134,49 @@ class DependenceAnalysis:
 
     @cached_property
     def pair_dependences(self) -> List[StatementPairDependence]:
-        """Exact direct dependences of every reference pair (source→target of eq. 2)."""
+        """Exact direct dependences of every reference pair (source→target of eq. 2).
+
+        Every pair join reads its two statements' domains from the shared
+        per-statement cache (:meth:`statement_domain_array`), so each domain
+        is enumerated once per analysis instead of once per pair orientation.
+        """
         out = []
         for pair in self.reference_pairs:
+            for ctx in (pair.source_ctx, pair.target_ctx):
+                self.statement_domain_array(ctx.statement.label)
             rel = exact_pair_dependences(
-                pair, self.params, self.program.parameters, engine=self._join_engine
+                pair,
+                self.params,
+                self.program.parameters,
+                engine=self._join_engine,
+                domains=self._domain_cache,
             )
             out.append(StatementPairDependence(pair, rel))
         return out
+
+    @cached_property
+    def _domain_cache(self) -> Dict[str, np.ndarray]:
+        return {}
+
+    def statement_domain_array(self, label: str) -> np.ndarray:
+        """One statement's iteration domain as ``(n, depth)`` int64 rows.
+
+        Lexicographic row order (:func:`~repro.dependence.exact.enumerate_domain`),
+        cached per statement — shared by every reference-pair join and by the
+        statement-level space builder (:mod:`repro.core.statement`), so the
+        possibly non-rectangular enumeration runs once per statement.
+        """
+        cache = self._domain_cache
+        if label not in cache:
+            # Read-only: the same array is handed to every pair join and to
+            # the statement-space builder; an in-place edit through any of
+            # them must raise, not silently corrupt the shared cache.
+            cache[label] = readonly_view(
+                enumerate_domain(
+                    self.program.context_of(label), self.params, self.program.parameters
+                )
+            )
+        return cache[label]
 
     def nonempty_pair_dependences(self) -> List[StatementPairDependence]:
         return [d for d in self.pair_dependences if not d.is_empty()]
@@ -199,8 +234,7 @@ class DependenceAnalysis:
         if not contexts:
             return np.zeros((0, 0), dtype=np.int64)
         return np.asarray(
-            enumerate_domain(contexts[0], self.params, self.program.parameters),
-            dtype=np.int64,
+            self.statement_domain_array(contexts[0].statement.label), dtype=np.int64
         )
 
     @cached_property

@@ -34,7 +34,7 @@ keys; both engines produce identical relations (covered by tests).
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -159,6 +159,7 @@ def exact_pair_dependences(
     parameters: Sequence[str] = (),
     include_self: bool = False,
     engine: str = "auto",
+    domains: Optional[Mapping[str, np.ndarray]] = None,
 ) -> FiniteRelation:
     """Exact direct dependences of one reference pair for concrete bounds.
 
@@ -171,11 +172,25 @@ def exact_pair_dependences(
     array-backed result), ``"hash"`` (the original dict join, eager tuple
     pairs) or ``"auto"`` (sort join, hash fallback on int64 key overflow).
     Both produce identical relations.
+
+    ``domains`` optionally maps statement labels to pre-enumerated
+    ``(n, depth)`` domain arrays (lexicographic row order, as
+    :func:`enumerate_domain` returns).  A program with ``p`` reference pairs
+    enumerates each statement's domain ``O(p)`` times without it;
+    :class:`~repro.dependence.analysis.DependenceAnalysis` passes its
+    per-statement cache so every domain is enumerated exactly once.
     """
     if engine not in ("auto", "sort", "hash"):
         raise ValueError(f"unknown join engine {engine!r}; use 'auto', 'sort' or 'hash'")
-    src_points = enumerate_domain(pair.source_ctx, params, parameters)
-    dst_points = enumerate_domain(pair.target_ctx, params, parameters)
+
+    def domain_of(ctx) -> np.ndarray:
+        label = ctx.statement.label
+        if domains is not None and label in domains:
+            return domains[label]
+        return enumerate_domain(ctx, params, parameters)
+
+    src_points = domain_of(pair.source_ctx)
+    dst_points = domain_of(pair.target_ctx)
     if len(src_points) == 0 or len(dst_points) == 0:
         return FiniteRelation(frozenset(), src_points.shape[1], dst_points.shape[1])
     src_addr = reference_addresses(pair.source_ref, pair.source_indices, src_points)

@@ -56,6 +56,7 @@ __all__ = [
     "PointCodec",
     "SuccessorIndex",
     "in_sorted",
+    "lexsort_rows",
     "readonly_view",
     "resolve_bulk_engine",
     "BULK_SIZE_THRESHOLD",
@@ -86,6 +87,21 @@ def readonly_view(arr: np.ndarray) -> np.ndarray:
     view = arr.view()
     view.setflags(write=False)
     return view
+
+
+def lexsort_rows(rows: np.ndarray) -> np.ndarray:
+    """Permutation putting the rows of an ``(n, dim)`` array in lexicographic order.
+
+    Unlike :meth:`PointCodec.encode`-based sorting this never overflows: it is
+    a plain ``np.lexsort`` over the columns (last key = first column), so it
+    works for arbitrarily wide boxes.  Rank-0 rows are already "sorted".
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    if rows.ndim != 2:
+        raise ValueError("rows must be an (n, dim) array")
+    if rows.shape[1] == 0:
+        return np.arange(len(rows), dtype=np.int64)
+    return np.lexsort(rows.T[::-1])
 
 
 def in_sorted(keys: np.ndarray, sorted_keys: np.ndarray) -> np.ndarray:
@@ -467,7 +483,19 @@ class FiniteRelation:
         if dim_in + dim_out == 0:
             # Rank-0 on both sides: the only possible pair is () -> ().
             return FiniteRelation(frozenset({((), ())}), 0, 0)
-        combined = np.unique(np.concatenate([src, dst], axis=1), axis=0)
+        combined = np.concatenate([src, dst], axis=1)
+        # Canonicalise (sort rows by (src, dst), merge duplicates) on scalar
+        # int64 keys when the pair box fits — key order equals lexicographic
+        # row order, and a scalar-key np.unique is an order of magnitude
+        # faster than the void-dtype row sort of np.unique(axis=0), which
+        # remains as the overflow fallback.
+        try:
+            codec = PointCodec.for_arrays(combined)
+        except ValueError:
+            combined = np.unique(combined, axis=0)
+        else:
+            _, first = np.unique(codec.encode(combined), return_index=True)
+            combined = combined[first]
         return FiniteRelation._from_canonical_arrays(
             np.ascontiguousarray(combined[:, :dim_in]),
             np.ascontiguousarray(combined[:, dim_in:]),

@@ -25,7 +25,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..core.schedule import ArrayPhase, Instance, Schedule
+from ..core.schedule import ArrayPhase, Instance, Schedule, UnifiedArrayPhase
 from ..ir.nodes import Statement
 from ..ir.program import LoopProgram
 from ..ir.semantics import DEFAULT_SEMANTICS
@@ -135,6 +135,22 @@ def execute_schedule(
             stmt, index_names = ctx.statement, ctx.index_names
             for row in rows:
                 _execute_instance(stmt, row, index_names, store)
+            continue
+        if isinstance(phase, UnifiedArrayPhase):
+            # Statement-level array phases: rows are unified index vectors;
+            # the iteration vector is the odd columns up to the statement's
+            # depth — executed directly, no unit objects.
+            stmts = [contexts[label] for label in phase.labels]
+            depths = phase.depths
+            entries = list(zip(phase.stmt_ids.tolist(), phase.rows.tolist()))
+            if shuffle:
+                rng.shuffle(entries)
+            for sid, row in entries:
+                ctx = stmts[sid]
+                _execute_instance(
+                    ctx.statement, row[1 : 2 * depths[sid] : 2],
+                    ctx.index_names, store,
+                )
             continue
         units = list(phase.units)
         if shuffle:

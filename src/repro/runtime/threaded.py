@@ -37,7 +37,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..core.schedule import ArrayPhase, Schedule
+from ..core.schedule import ArrayPhase, Schedule, UnifiedArrayPhase
 from ..ir.program import LoopProgram
 from ..ir.semantics import DEFAULT_SEMANTICS
 from .executor import ArrayStore, make_store
@@ -132,6 +132,46 @@ def _run_rows(
     return executed
 
 
+def _run_unified_rows(
+    labels: Sequence[str],
+    depths: Sequence[int],
+    stmt_ids: np.ndarray,
+    rows: np.ndarray,
+    contexts,
+    store,
+    locks: Optional[Mapping[str, threading.Lock]] = None,
+) -> int:
+    """Worker body for a :class:`UnifiedArrayPhase` slice: rows are unified
+    index vectors with a parallel statement-id vector; the iteration vector is
+    the odd columns up to the statement's depth.  Returns the instance count."""
+    stmts = [contexts[label] for label in labels]
+    arrays_of = (
+        [
+            sorted(
+                {ref.array for ref in ctx.statement.reads}
+                | {ref.array for ref in ctx.statement.writes}
+            )
+            for ctx in stmts
+        ]
+        if locks is not None
+        else None
+    )
+    executed = 0
+    for sid, row in zip(stmt_ids.tolist(), rows.tolist()):
+        ctx = stmts[sid]
+        stmt = ctx.statement
+        env = dict(zip(ctx.index_names, row[1 : 2 * depths[sid] : 2]))
+        if locks is None:
+            _execute_instance(stmt, env, store)
+        else:
+            with ExitStack() as stack:
+                for name in arrays_of[sid]:
+                    stack.enter_context(locks[name])
+                _execute_instance(stmt, env, store)
+        executed += 1
+    return executed
+
+
 def execute_schedule_threaded(
     program: LoopProgram,
     schedule: Schedule,
@@ -181,6 +221,24 @@ def execute_schedule_threaded(
                         points[k::n_threads] for k in range(n_threads)
                     )
                     if len(rows)
+                ]
+            elif isinstance(phase, UnifiedArrayPhase):
+                # Statement-level array phases: round-robin (stmt_id, row)
+                # pairs across the workers as strided views.
+                ids, rows = phase.stmt_ids, phase.rows
+                if shuffle:
+                    order = list(range(len(rows)))
+                    rng.shuffle(order)
+                    perm = np.asarray(order, dtype=np.int64)
+                    ids, rows = ids[perm], rows[perm]
+                futures = [
+                    pool.submit(
+                        _run_unified_rows, phase.labels, phase.depths,
+                        ids[k::n_threads], rows[k::n_threads],
+                        contexts, store, locks,
+                    )
+                    for k in range(n_threads)
+                    if len(rows[k::n_threads])
                 ]
             else:
                 units = list(phase.units)

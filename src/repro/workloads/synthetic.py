@@ -43,6 +43,7 @@ __all__ = [
     "generate_corpus_programs",
     "large_uniform_loop",
     "large_triangular_loop",
+    "large_cholesky_nest",
     "scale_partition_case",
 ]
 
@@ -196,6 +197,45 @@ def large_triangular_loop(n: int, name: str = "large-triangular") -> LoopProgram
         name,
         loop("I1", 1, n, loop("I2", 1, "I1", body)),
         array_shapes={"x": (n + 2, n + 2)},
+    )
+
+
+def large_cholesky_nest(n: int, name: str = "large-cholesky-nest") -> LoopProgram:
+    """A multi-statement triangular imperfect nest, usable at very large bounds.
+
+        DO I = 1, n
+          DO J = 1, I
+            s1:  tmp(I, J) = a(J, J)     ! panel update reads the diagonal
+          ENDDO
+          s2:  a(I, I) = tmp(I, I)       ! diagonal update consumes s1's element
+        ENDDO
+
+    The shape of one step of a Cholesky factorization — a triangular panel
+    update reading the diagonal element, then the diagonal update — reduced to
+    a single coupled array so the dependence structure stays exactly
+    analysable:
+
+    * flow ``s2(j) → s1(i, j)`` for every ``j < i`` through ``a(j, j)``
+      (≈ ``n²/2`` pairs — one unified dependence per panel instance),
+    * flow/anti ``s1(i, i) ↔ s2(i)`` through ``tmp(i, i)`` and ``a(i, i)``
+      (the intra-row coupling that forces statement level; merged into one
+      forward pair per row after orientation).
+
+    The statement-level dataflow partition is three wavefronts — all
+    ``s1(i, i)``, then every ``s2``, then the off-diagonal panel — so the
+    end-to-end cost at 10⁵⁺ instances is dominated by the §3.3 unified-space
+    construction and the Rd mapping, exactly the path the array-native
+    statement level vectorises (``n = 447`` is the smallest bound whose
+    ``n·(n+1)/2 + n`` instances reach 10⁵).  The nest is imperfect *and*
+    non-rectangular, so both the statement mapping and the bounding-box
+    domain enumeration are exercised at scale.
+    """
+    s1 = assign("s1", aref("tmp", "I", "J"), [aref("a", "J", "J")])
+    s2 = assign("s2", aref("a", "I", "I"), [aref("tmp", "I", "I")])
+    return program(
+        name,
+        loop("I", 1, n, loop("J", 1, "I", s1), s2),
+        array_shapes={"tmp": (n + 1, n + 1), "a": (n + 1, n + 1)},
     )
 
 

@@ -1,0 +1,39 @@
+"""Shared test configuration: helper-module path and Hypothesis profiles.
+
+``tests/strategies.py`` (the shared Hypothesis strategies for random loop
+programs) is a plain helper module, not a test file; the tests directory is
+not a package, so it is put on ``sys.path`` here for ``from strategies
+import ...`` to work from any test subdirectory.
+
+Two Hypothesis profiles are registered:
+
+* ``ci`` — the reproducible profile CI pins with ``--hypothesis-profile=ci``:
+  derandomized (fixed seed derived from each test, so every run generates the
+  same programs), a fixed example budget, and no per-example deadline (the
+  exact analyser's first call pays numpy warm-up that would trip the default
+  200 ms deadline on shared runners).
+* ``dev`` — the default everywhere else: fewer examples so the tier-1 suite
+  stays fast, still no deadline.
+"""
+
+import os
+import sys
+
+from hypothesis import HealthCheck, settings
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "dev",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))

@@ -1,6 +1,8 @@
 """Tests for repro.core.statement: the §3.3 statement-level extension."""
 
-from repro.core.statement import build_statement_space
+import numpy as np
+
+from repro.core.statement import UnifiedIndexMap, build_statement_space
 from repro.dependence import DependenceAnalysis
 from repro.isl.lexorder import lex_lt
 from repro.workloads.examples import cholesky_loop, example3_loop, figure1_loop
@@ -42,6 +44,80 @@ class TestUnifiedVectors:
         assert list(space.instances) == [
             (label, tuple(it)) for label, it in prog.sequential_iterations({})
         ]
+
+
+class TestUnifiedIndexMap:
+    def test_unify_needs_no_space(self):
+        """The §3.3 mapping is a pure function of the program's syntax —
+        usable before (and without) building any statement space."""
+        prog = example3_loop(6)
+        index_map = UnifiedIndexMap.from_program(prog)
+        space = build_statement_space(prog, {})
+        assert index_map.width == space.width
+        assert index_map.positions == dict(space.positions)
+        for (label, iteration), point in zip(space.instances, space.unified):
+            assert index_map.unify(label, iteration) == point
+
+    def test_build_constructs_exactly_one_space(self, monkeypatch):
+        """Regression: build_statement_space used to construct a throwaway
+        StatementLevelSpace (empty unified, empty rd) just to call unify."""
+        import repro.core.statement as statement_mod
+
+        constructed = []
+        original = statement_mod.StatementLevelSpace.__init__
+
+        def counting(self, *args, **kwargs):
+            constructed.append(self)
+            original(self, *args, **kwargs)
+
+        monkeypatch.setattr(
+            statement_mod.StatementLevelSpace, "__init__", counting
+        )
+        for engine in ("vector", "set"):
+            constructed.clear()
+            statement_mod.build_statement_space(
+                example3_loop(6), {}, engine=engine
+            )
+            assert len(constructed) == 1, engine
+
+    def test_unify_array_interleaves_like_unify(self):
+        prog = cholesky_loop(nmat=1, m=2, n=4, nrhs=1)
+        index_map = UnifiedIndexMap.from_program(prog)
+        analysis = DependenceAnalysis(prog, {})
+        for ctx in prog.statement_contexts():
+            label = ctx.statement.label
+            iters = analysis.statement_domain_array(label)
+            batch = index_map.unify_array(label, iters)
+            assert batch.shape == (len(iters), index_map.width)
+            for row, iteration in zip(batch.tolist(), iters.tolist()):
+                assert tuple(row) == index_map.unify(label, iteration)
+
+
+class TestArrayPath:
+    def test_engines_build_identical_spaces(self):
+        for prog in (example3_loop(10), cholesky_loop(nmat=1, m=2, n=4, nrhs=1)):
+            set_space = build_statement_space(prog, {}, engine="set")
+            vec_space = build_statement_space(prog, {}, engine="vector")
+            assert set_space.instances == vec_space.instances
+            assert set_space.unified == vec_space.unified
+            assert np.array_equal(set_space.unified_array, vec_space.unified_array)
+            assert np.array_equal(set_space.stmt_ids, vec_space.stmt_ids)
+            assert set_space.rd == vec_space.rd
+
+    def test_space_array_rows_are_lex_sorted(self):
+        space = build_statement_space(example3_loop(8), {}, engine="vector")
+        rows = list(map(tuple, space.space_array.tolist()))
+        assert rows == sorted(rows)
+
+    def test_stmt_ids_of_roundtrip_and_rejects_foreign_rows(self):
+        import pytest
+
+        space = build_statement_space(example3_loop(8), {}, engine="vector")
+        ids = space.stmt_ids_of(space.unified_array[::-1])
+        assert np.array_equal(ids, space.stmt_ids[::-1])
+        foreign = space.unified_array[:1] + 1000
+        with pytest.raises(KeyError):
+            space.stmt_ids_of(foreign)
 
 
 class TestStatementLevelDependences:

@@ -271,6 +271,120 @@ class TestPlanCacheMechanics:
         assert cache.stats()["hits"] >= 1
 
 
+class TestPlanExplain:
+    def test_explain_reports_skips_selection_and_timing(self):
+        p = plan(example3_loop(8), cache=False)
+        lines = p.explain().splitlines()
+        assert lines[0].startswith("plan for 'example3'")
+        skips = [l for l in lines if l.strip().startswith("- skipped")]
+        assert any("recurrence-chains" in l for l in skips)
+        # every recorded skip carries its reason text
+        for name, reason in p.skipped:
+            assert any(name in l and reason in l for l in skips)
+        selected = [l for l in lines if "selected dataflow" in l]
+        assert len(selected) == 1
+        assert " in " in selected[0] and "ms" in selected[0]  # timing suffix
+        assert "schedule:" in lines[-1]
+
+    def test_explain_lists_skips_in_chain_order(self):
+        p = plan(
+            cholesky_loop(nmat=1, m=2, n=4, nrhs=1),
+            config=PlanConfig(
+                strategies=("recurrence-chains", "pl", "tiling", "dataflow")
+            ),
+            cache=False,
+        )
+        assert [name for name, _ in p.skipped] == [
+            "recurrence-chains", "pl", "tiling",
+        ]
+        text = p.explain()
+        positions = [text.index(f"skipped {name}:") for name, _ in p.skipped]
+        assert positions == sorted(positions)
+        assert text.index("selected dataflow") > positions[-1]
+        # the imperfect-nest strategies report the perfect-nest requirement
+        reasons = dict(p.skipped)
+        assert "perfect nest" in reasons["pl"]
+        assert "perfect nest" in reasons["tiling"]
+
+    def test_explain_pinned_strategy_has_no_skips(self):
+        p = plan(
+            figure1_loop(6, 6), config=PlanConfig(strategies=("pdm",)), cache=False
+        )
+        assert p.skipped == ()
+        assert "skipped" not in p.explain()
+        assert "selected pdm" in p.explain()
+
+    def test_explain_without_timing_omits_duration(self):
+        from dataclasses import replace
+
+        p = plan(figure2_loop(8), cache=False)
+        untimed = replace(p, timings={})
+        selected = [
+            l for l in untimed.explain().splitlines() if "selected" in l
+        ][0]
+        assert " in " not in selected
+
+    def test_force_dataflow_reason_appears_in_explain(self):
+        p = plan(
+            figure1_loop(8, 8),
+            config=PlanConfig(force_dataflow=True),
+            cache=False,
+        )
+        assert "disabled by PlanConfig(force_dataflow=True)" in p.explain()
+
+
+class TestPlanCacheLRUBoundaries:
+    def test_maxsize_validation(self):
+        with pytest.raises(ValueError):
+            PlanCache(maxsize=0)
+        assert PlanCache(maxsize=1).maxsize == 1
+
+    def test_get_refreshes_recency(self):
+        """A cache *hit* must move the entry to most-recently-used: after
+        hitting the oldest entry, an insertion evicts the other one."""
+        cache = PlanCache(maxsize=2)
+        a = plan(figure2_loop(6), cache=cache)
+        b = plan(figure2_loop(7), cache=cache)
+        assert plan(figure2_loop(6), cache=cache) is a  # refresh a
+        plan(figure2_loop(8), cache=cache)  # evicts b (now LRU), not a
+        assert plan(figure2_loop(6), cache=cache) is a  # still cached
+        assert plan(figure2_loop(7), cache=cache) is not b  # was evicted
+
+    def test_maxsize_one_keeps_only_latest(self):
+        cache = PlanCache(maxsize=1)
+        a = plan(figure2_loop(6), cache=cache)
+        b = plan(figure2_loop(7), cache=cache)
+        assert len(cache) == 1
+        assert plan(figure2_loop(7), cache=cache) is b
+        assert plan(figure2_loop(6), cache=cache) is not a
+
+    def test_put_existing_key_updates_without_eviction(self):
+        cache = PlanCache(maxsize=2)
+        a = plan(figure2_loop(6), cache=cache)
+        b = plan(figure2_loop(7), cache=cache)
+        key_a = PlanCache.key(a.program, a.params, a.config)
+        cache.put(key_a, a)  # re-insert under the same key
+        assert len(cache) == 2  # no growth, no eviction
+        assert plan(figure2_loop(7), cache=cache) is b  # b survived
+
+    def test_eviction_is_oldest_first_across_overflow(self):
+        cache = PlanCache(maxsize=2)
+        plans = [plan(figure2_loop(n), cache=cache) for n in (6, 7, 8, 9)]
+        assert len(cache) == 2
+        # only the two newest survive
+        assert plan(figure2_loop(9), cache=cache) is plans[3]
+        assert plan(figure2_loop(8), cache=cache) is plans[2]
+        assert plan(figure2_loop(6), cache=cache) is not plans[0]
+
+    def test_clear_resets_entries_and_counters(self):
+        cache = PlanCache(maxsize=4)
+        plan(figure2_loop(6), cache=cache)
+        plan(figure2_loop(6), cache=cache)
+        assert cache.stats() == {"size": 1, "hits": 1, "misses": 1}
+        cache.clear()
+        assert cache.stats() == {"size": 0, "hits": 0, "misses": 0}
+
+
 class TestPlanObject:
     def test_execute_matches_sequential(self):
         import numpy as np
