@@ -27,6 +27,16 @@ array-backed path, at two levels.
   wraps, and a cached re-plan is ≥10× faster than cold *and* returns the
   identical :class:`~repro.core.strategy.Plan` object.
 
+* ``test_process_backend_speedup`` — the **execution**-side contract: the
+  shared-memory ``process`` backend vs the ``serial`` backend on the
+  ``large_uniform_loop`` wavefront schedule with the compute-heavy semantics
+  kernel (:func:`repro.ir.semantics.compute_heavy_semantics`, so per-instance
+  work dominates interpreter dispatch).  Contract: measured wall-clock
+  speedup **>1× at 4 workers** on 10⁵ points (target ≥2×) — asserted on
+  multi-core hosts; single-core machines record the measured row (expect
+  <1×: there is nothing to parallelise onto) without failing, and
+  ``REPRO_REQUIRE_PROCESS_SPEEDUP=1`` forces the assertion anywhere.
+
 * ``test_statement_level_speedup`` — the §3.3 statement-level pipeline on the
   multi-statement triangular imperfect nest
   (:func:`repro.workloads.synthetic.large_cholesky_nest`): full
@@ -266,6 +276,77 @@ def test_plan_facade_overhead(report):
     assert t_first / t_cached >= 10.0, (
         f"cached re-plan only {t_first / t_cached:.1f}x faster than cold"
     )
+
+
+def test_process_backend_speedup(report):
+    """Execution contract of the shared-memory process pool: >1× (target ≥2×)
+    over the serial backend at 4 workers, 10⁵ points, compute-heavy kernel.
+
+    The schedule is the vectorised dataflow wavefront plan of
+    ``large_uniform_loop`` — 200 DOALL phases whose :class:`ArrayPhase` rows
+    ship to the persistent workers as strided slices (attach-once shared
+    memory, barrier per phase).  Timings are end-to-end per run, *including*
+    pool start-up and the shared-memory copy-in/copy-out, so the recorded
+    speedup is what a caller of ``plan(...).execute(backend="process")``
+    actually observes.
+    """
+    import numpy as np
+
+    from repro.ir.semantics import compute_heavy_semantics
+    from repro.runtime import execute
+    from repro.runtime.process import process_unavailable_reason
+    from repro.workloads.synthetic import large_uniform_loop
+
+    reason = process_unavailable_reason()
+    if reason is not None:
+        import pytest
+
+        pytest.skip(f"process backend unavailable: {reason}")
+
+    workers = 4
+    rows = []
+    for n1, n2 in SIZES[1:]:  # 10⁴ warm-up row, 10⁵ gated row
+        prog = large_uniform_loop(n1, n2, semantics=compute_heavy_semantics)
+        config = PlanConfig(engine="vector", strategies=("dataflow",))
+        p = plan(prog, config=config, cache=False)
+
+        t0 = time.perf_counter()
+        serial = execute(prog, p.schedule, {}, backend="serial", seed=None)
+        t_serial = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        proc = execute(
+            prog, p.schedule, {}, backend="process", workers=workers, seed=None
+        )
+        t_process = time.perf_counter() - t0
+        # The two backends must agree exactly before their timings mean anything.
+        assert all(
+            np.array_equal(serial.store[name], proc.store[name])
+            for name in serial.store
+        )
+        assert proc.instances_executed == p.schedule.total_work
+        rows.append(
+            {
+                "points": n1 * n2,
+                "phases": p.schedule.num_phases,
+                "workers": workers,
+                "cpu_count": os.cpu_count(),
+                "t_serial_s": round(t_serial, 4),
+                "t_process_s": round(t_process, 4),
+                "speedup": round(t_serial / t_process, 2),
+            }
+        )
+    report("Process-backend sweep: serial vs shared-memory pool", rows)
+    record_bench("process_backend", rows)
+
+    big = rows[-1]
+    assert big["points"] >= 10**5
+    multicore = (os.cpu_count() or 1) >= 2
+    if multicore or os.environ.get("REPRO_REQUIRE_PROCESS_SPEEDUP"):
+        assert big["speedup"] > 1.0, (
+            f"process backend only {big['speedup']}x the serial backend at "
+            f"{big['points']} points with {workers} workers "
+            f"({os.cpu_count()} CPUs visible)"
+        )
 
 
 def test_statement_level_speedup(report):

@@ -67,10 +67,34 @@ plan for 'example3' (params {}, engine 'auto'):
   - selected dataflow (scheme 'dataflow')...
 ...
 
-Plans execute (``p.execute(threads=4)`` for the real thread pool) and
+Execution mirrors planning: every executor is a registered backend behind
+one entry point.  ``p.execute(backend="process", workers=2)`` runs the
+schedule on a **shared-memory process pool** — the program's arrays live in
+one ``multiprocessing.shared_memory`` segment that every worker attaches
+once, phases end in real barriers, and the result is the unified
+:class:`~repro.runtime.backends.RunResult` with per-phase counters.  Every
+backend declares an availability probe (``None`` means usable); the rare
+host without POSIX shared memory falls back to the thread pool here:
+
+>>> pool = "process" if repro.runtime.get_backend("process").available() is None else "threaded"
+>>> run = p.execute(backend=pool, workers=2)
+>>> run.workers, run.instances_executed
+(2, 100)
+>>> serial = p.execute(backend="serial")
+>>> all((run.store[a] == serial.store[a]).all() for a in run.store)
+True
+
+The registered backends (``repro.runtime.backend_names()``):
+
+>>> repro.runtime.backend_names()
+('serial', 'threaded', 'process', 'simulated')
+
+Plans execute (``p.execute(threads=4)`` for the GIL-bound thread pool) and
 generate source (``p.codegen(target="python")``); the historical entry
-points — ``repro.core.recurrence_chain_partition`` and the per-scheme
-``*_schedule`` functions — remain as thin shims over the same machinery.
+points — ``repro.core.recurrence_chain_partition``, the per-scheme
+``*_schedule`` functions, ``repro.runtime.execute_schedule`` and
+``repro.runtime.execute_schedule_threaded`` — remain as thin shims over the
+same machinery.
 """
 
 from . import analysis, baselines, codegen, core, dependence, ir, isl, runtime, workloads
@@ -84,8 +108,15 @@ from .core.strategy import (
     strategy_names,
     strategy_table,
 )
+from .runtime.backends import (
+    ExecConfig,
+    ExecutionBackend,
+    RunResult,
+    backend_names,
+    backend_table,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "analysis",
@@ -105,5 +136,10 @@ __all__ = [
     "default_plan_cache",
     "strategy_names",
     "strategy_table",
+    "ExecConfig",
+    "ExecutionBackend",
+    "RunResult",
+    "backend_names",
+    "backend_table",
     "__version__",
 ]

@@ -28,8 +28,15 @@ This module puts one compiler-style facade in front of all of them:
   config)`` makes repeated requests for the same loop nest (the serving
   scenario) return the identical :class:`Plan` without re-analysis.
 
-Future backends — the ROADMAP's process-pool executor and symbolic-partition
-codegen — plug in as more strategies/targets behind the same facade.
+Execution goes through the same pattern on the runtime side: the
+:mod:`repro.runtime.backends` registry of :class:`ExecutionBackend` s
+(``serial`` / ``threaded`` / ``process`` / ``simulated``) is reached via
+``Plan.execute(backend=..., workers=...)`` or a
+:class:`~repro.runtime.backends.ExecConfig` attached to
+:class:`PlanConfig`; the shared-memory process pool turns the planned
+phase/barrier schedules into wall-clock speedups on multi-core hosts.
+Future work — symbolic-partition codegen — plugs in as more
+strategies/targets behind the same facade.
 """
 
 from __future__ import annotations
@@ -51,6 +58,7 @@ from typing import (
 
 from ..dependence.analysis import DependenceAnalysis
 from ..ir.program import LoopProgram
+from ..runtime.backends import ExecConfig
 from .chains import MonotonicChain
 from .partition import ThreeSetPartition
 from .partitioner import (
@@ -110,6 +118,13 @@ class PlanConfig:
     ``rng_seed``
         Default intra-phase shuffle seed used by :meth:`Plan.execute`
         (``None`` disables shuffling, matching the executors' contract).
+    ``exec_config``
+        Default :class:`~repro.runtime.backends.ExecConfig` for
+        :meth:`Plan.execute`: when set, a bare ``plan.execute()`` runs
+        through the execution-backend registry (``serial`` / ``threaded`` /
+        ``process`` / ``simulated``) with these knobs and returns the
+        unified :class:`~repro.runtime.backends.RunResult`.  ``None`` keeps
+        the historical behaviour (bare store / :class:`ThreadedRun`).
     """
 
     engine: str = "auto"
@@ -117,6 +132,7 @@ class PlanConfig:
     force_dataflow: bool = False
     strategies: Optional[Tuple[str, ...]] = None
     rng_seed: Optional[int] = 0
+    exec_config: Optional[ExecConfig] = None
 
     def __post_init__(self):
         if self.engine not in _ENGINES:
@@ -127,6 +143,8 @@ class PlanConfig:
             raise ValueError("bulk_size_threshold must be a positive integer")
         if self.strategies is not None:
             object.__setattr__(self, "strategies", tuple(self.strategies))
+        if self.exec_config is not None and not isinstance(self.exec_config, ExecConfig):
+            raise TypeError("exec_config must be an ExecConfig (or None)")
 
 
 @contextmanager
@@ -492,16 +510,59 @@ class Plan:
         seed=_UNSET,
         rng=None,
         lock_free: bool = True,
+        backend: Optional[str] = None,
+        workers: Optional[int] = None,
     ):
         """Run the plan's schedule over concrete arrays.
 
-        ``threads=None`` uses the shuffled single-thread executor and returns
-        the final array store; ``threads=k`` uses the real thread pool with
-        phase barriers and returns a
-        :class:`~repro.runtime.threaded.ThreadedRun`.  ``seed`` defaults to
-        ``config.rng_seed``; pass ``seed=None`` (and no ``rng``) to disable
-        intra-phase shuffling.
+        Three entry styles, newest first:
+
+        * ``backend="serial" | "threaded" | "process" | "simulated"`` (plus
+          ``workers=k``) runs through the execution-backend registry
+          (:mod:`repro.runtime.backends`) and returns the unified
+          :class:`~repro.runtime.backends.RunResult` —
+          ``plan(...).execute(backend="process", workers=4)`` is the
+          multi-core path;
+        * a :class:`PlanConfig` carrying ``exec_config`` makes a bare
+          ``execute()`` take the same registry path with those defaults
+          (``backend=`` / ``workers=`` still override per call);
+        * historically, ``threads=None`` uses the shuffled single-thread
+          executor and returns the bare array store, while ``threads=k``
+          uses the thread pool and returns a
+          :class:`~repro.runtime.threaded.ThreadedRun` — both preserved
+          verbatim for existing callers.
+
+        ``seed`` defaults to ``config.rng_seed`` (or the ``exec_config``'s
+        seed when one is set); pass ``seed=None`` (and no ``rng``) to
+        disable intra-phase shuffling.
         """
+        if backend is not None or (
+            self.config.exec_config is not None and threads is None
+        ):
+            from dataclasses import replace
+
+            from ..runtime.backends import execute
+
+            base = self.config.exec_config
+            if base is None:
+                base = ExecConfig(seed=self.config.rng_seed)
+            overrides = {}
+            if backend is not None:
+                overrides["backend"] = backend
+            if workers is not None:
+                overrides["workers"] = workers
+            elif threads is not None:
+                overrides["workers"] = threads
+            if seed is not Plan._UNSET:
+                overrides["seed"] = seed
+            if not lock_free:
+                overrides["lock_free"] = False
+            cfg = replace(base, **overrides) if overrides else base
+            return execute(
+                self.program, self.schedule, self.params, store=store,
+                config=cfg, rng=rng,
+            )
+
         from ..runtime.executor import execute_schedule
         from ..runtime.threaded import execute_schedule_threaded
 

@@ -1,15 +1,36 @@
 """repro.runtime — executing, simulating and measuring partitioned schedules.
 
-* :mod:`repro.runtime.executor` — sequential reference execution, schedule
-  execution with shuffled intra-phase order, exact semantic validation;
-* :mod:`repro.runtime.threaded` — real thread-pool execution with phase
-  barriers (correctness under true concurrency);
+* :mod:`repro.runtime.backends` — the **execution-backend registry**: one
+  :func:`~repro.runtime.backends.execute` entry point over the registered
+  ``serial`` / ``threaded`` / ``process`` / ``simulated`` backends, all
+  returning a unified :class:`~repro.runtime.backends.RunResult`;
+* :mod:`repro.runtime.executor` — sequential reference execution, exact
+  semantic validation, and the historical ``execute_schedule`` shim;
+* :mod:`repro.runtime.threaded` — the thread-pool backend (correctness under
+  true concurrency) and the historical ``execute_schedule_threaded`` shim;
+* :mod:`repro.runtime.process` / :mod:`repro.runtime.shm` — the
+  shared-memory process pool: arrays in one ``multiprocessing.shared_memory``
+  segment, attach-once workers, phase barriers — wall-clock speedups on
+  multi-core hosts;
 * :mod:`repro.runtime.simulator` — the deterministic SMP cost model behind the
   figure-3 speedup reproductions;
 * :mod:`repro.runtime.metrics` — parallelism metrics, speedup tables and
-  scheme comparisons.
+  scheme comparisons, plus :func:`~repro.runtime.metrics.run_metrics` /
+  :func:`~repro.runtime.metrics.measured_speedups` over RunResults.
 """
 
+from .backends import (
+    BackendUnavailable,
+    ExecConfig,
+    ExecutionBackend,
+    PhaseStats,
+    RunResult,
+    backend_names,
+    backend_table,
+    execute,
+    get_backend,
+    register_backend,
+)
 from .executor import (
     ArrayStore,
     ValidationReport,
@@ -18,7 +39,14 @@ from .executor import (
     make_store,
     validate_schedule,
 )
-from .metrics import SpeedupTable, compare_schemes, crossover_points, schedule_parallelism
+from .metrics import (
+    SpeedupTable,
+    compare_schemes,
+    crossover_points,
+    measured_speedups,
+    run_metrics,
+    schedule_parallelism,
+)
 from .simulator import CostModel, SimulationResult, simulate_schedule, speedup_curve
 from .threaded import ThreadedRun, execute_schedule_threaded
 
@@ -29,6 +57,16 @@ __all__ = [
     "execute_schedule",
     "validate_schedule",
     "ValidationReport",
+    "execute",
+    "ExecConfig",
+    "ExecutionBackend",
+    "PhaseStats",
+    "RunResult",
+    "BackendUnavailable",
+    "register_backend",
+    "get_backend",
+    "backend_names",
+    "backend_table",
     "execute_schedule_threaded",
     "ThreadedRun",
     "CostModel",
@@ -38,5 +76,7 @@ __all__ = [
     "SpeedupTable",
     "compare_schemes",
     "crossover_points",
+    "run_metrics",
+    "measured_speedups",
     "schedule_parallelism",
 ]

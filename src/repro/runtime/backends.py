@@ -1,0 +1,480 @@
+"""The execution-backend registry: one entry point for running schedules.
+
+Symmetric to the planning side's :class:`~repro.core.strategy.PartitionStrategy`
+registry: where ``plan()`` put one facade in front of eight partitioning
+schemes, this module puts one facade in front of the runtime's executors.
+Historically execution was three divergent entry points with inconsistent
+signatures — ``execute_sequential`` / ``execute_schedule`` (returning a bare
+store, shuffle seed defaulting to ``0``) / ``execute_schedule_threaded``
+(returning a :class:`~repro.runtime.threaded.ThreadedRun`, seed defaulting to
+``None``) — plus the cost-model simulator off to the side.  Now every way of
+running a schedule is an :class:`ExecutionBackend` in a registry, takes the
+same ``(program, schedule, params, store, ExecConfig)`` inputs and returns
+the same :class:`RunResult` (final store + per-phase instance/worker/timing
+counters):
+
+``serial``
+    the shuffled single-process reference executor (the old
+    ``execute_schedule`` loop);
+``threaded``
+    the real thread pool with phase barriers — correctness under true
+    concurrency, GIL-bound for speed;
+``process``
+    the ``multiprocessing.shared_memory`` worker pool
+    (:mod:`repro.runtime.process`): arrays live in one shared segment,
+    workers attach once and receive strided row slices, phases end in real
+    barriers — the backend that turns partition schedules into wall-clock
+    speedups on multi-core hosts;
+``simulated``
+    the deterministic SMP cost model (no arrays are touched;
+    ``RunResult.store`` is ``None`` and the speedup lands in ``meta``).
+
+The historical entry points live on as thin shims over the registry, and
+:meth:`Plan.execute(backend=...) <repro.core.strategy.Plan.execute>` reaches
+the same registry through the planning facade.  Third-party executors (a GPU
+runner, a free-threaded pool) plug in via :func:`register_backend` without
+touching any call site.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from ..core.schedule import ArrayPhase, Schedule, UnifiedArrayPhase
+from ..ir.program import LoopProgram
+from .executor import ArrayStore, _execute_instance, make_store
+from .simulator import CostModel, simulate_schedule
+
+__all__ = [
+    "ExecConfig",
+    "PhaseStats",
+    "RunResult",
+    "ExecutionBackend",
+    "BackendUnavailable",
+    "register_backend",
+    "get_backend",
+    "backend_names",
+    "backend_table",
+    "execute",
+]
+
+_MP_CONTEXTS = (None, "fork", "spawn", "forkserver")
+
+
+# ---------------------------------------------------------------------------
+# configuration and result objects
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ExecConfig:
+    """Every knob of schedule execution, in one hashable object.
+
+    The execution twin of :class:`~repro.core.strategy.PlanConfig` (and
+    attachable to it as ``PlanConfig(exec_config=...)``):
+
+    ``backend``
+        Registry name of the executor: ``"serial"``, ``"threaded"``,
+        ``"process"`` or ``"simulated"`` (plus anything registered later).
+    ``workers``
+        Thread/process/processor count for the parallel backends; the serial
+        backend ignores it.
+    ``seed``
+        Intra-phase shuffle seed (``None`` disables shuffling).  One default
+        (``0``) for every backend — the historical executors disagreed
+        (``execute_schedule`` shuffled by default, the threaded entry point
+        did not); the shims preserve their old defaults.
+    ``lock_free``
+        Threaded backend only: ``False`` adds per-array locks around each
+        instance.  The process backend rejects ``False`` (cross-process
+        locking would serialise the pool; its schedules are race-free by
+        construction).
+    ``mp_context``
+        Process backend: multiprocessing start method (``None`` = ``fork``
+        where available, else ``spawn``).
+    ``cost_model``
+        Simulated backend: the :class:`~repro.runtime.simulator.CostModel`
+        (``None`` = defaults).
+    """
+
+    backend: str = "serial"
+    workers: int = 4
+    seed: Optional[int] = 0
+    lock_free: bool = True
+    mp_context: Optional[str] = None
+    cost_model: Optional[CostModel] = None
+
+    def __post_init__(self):
+        if not isinstance(self.backend, str) or not self.backend:
+            raise ValueError("backend must be a non-empty registry name")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.mp_context not in _MP_CONTEXTS:
+            raise ValueError(
+                f"unknown mp_context {self.mp_context!r}; use one of {_MP_CONTEXTS}"
+            )
+
+
+@dataclass(frozen=True)
+class PhaseStats:
+    """Counters for one executed phase: size, distribution and wall-clock."""
+
+    name: str
+    instances: int
+    units: int
+    workers: int
+    elapsed_s: float
+
+
+@dataclass(frozen=True, eq=False)
+class RunResult:
+    """The unified result of executing a schedule through any backend.
+
+    Supersedes :class:`~repro.runtime.threaded.ThreadedRun`: the final store
+    plus per-phase instance/worker/timing counters, the same shape whether
+    the run was serial, threaded, multi-process or simulated (a simulated
+    run's ``store`` is ``None`` — nothing was executed).  Feed it to
+    :func:`repro.runtime.metrics.run_metrics` /
+    :func:`repro.runtime.metrics.measured_speedups` for reporting.
+    """
+
+    store: Optional[ArrayStore]
+    backend: str
+    workers: int
+    phase_stats: Tuple[PhaseStats, ...]
+    elapsed_s: float
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def phases_executed(self) -> int:
+        return len(self.phase_stats)
+
+    @property
+    def instances_executed(self) -> int:
+        return sum(p.instances for p in self.phase_stats)
+
+    def phase_elapsed(self) -> Tuple[float, ...]:
+        return tuple(p.elapsed_s for p in self.phase_stats)
+
+    def __repr__(self) -> str:
+        return (
+            f"RunResult(backend={self.backend!r}, workers={self.workers}, "
+            f"phases={self.phases_executed}, instances={self.instances_executed}, "
+            f"elapsed={self.elapsed_s:.4f}s)"
+        )
+
+
+class BackendUnavailable(RuntimeError):
+    """The selected backend cannot run in this environment (see ``reason``)."""
+
+
+# ---------------------------------------------------------------------------
+# backend protocol and registry
+# ---------------------------------------------------------------------------
+
+#: A backend runner: (program, schedule, params, store, config, rng) -> RunResult.
+BackendRunner = Callable[
+    [LoopProgram, Schedule, Dict[str, int], Optional[ArrayStore], ExecConfig, Optional[random.Random]],
+    RunResult,
+]
+
+
+def _always_available() -> Optional[str]:
+    return None
+
+
+@dataclass(frozen=True)
+class ExecutionBackend:
+    """One way of executing schedules, behind the registry.
+
+    ``available()`` returns ``None`` when the backend can run here or a
+    human-readable reason when it cannot (surfaced by
+    :class:`BackendUnavailable`); ``runner`` does the work and is only called
+    after the availability probe passed.
+    """
+
+    name: str
+    description: str
+    runner: BackendRunner
+    available: Callable[[], Optional[str]] = _always_available
+
+
+_REGISTRY: "OrderedDict[str, ExecutionBackend]" = OrderedDict()
+
+
+def register_backend(backend: ExecutionBackend) -> ExecutionBackend:
+    """Add a backend to the registry.  Re-registering a name replaces the
+    entry in place (so a plugin can refine a built-in)."""
+    _REGISTRY[backend.name] = backend
+    return backend
+
+
+def get_backend(name: str) -> ExecutionBackend:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown backend {name!r}; registered: {', '.join(_REGISTRY)}"
+        ) from None
+
+
+def backend_names() -> Tuple[str, ...]:
+    """Registered backend names in registration order."""
+    return tuple(_REGISTRY)
+
+
+def backend_table() -> List[Dict[str, str]]:
+    """The registry as rows (name / description / availability) for docs."""
+    return [
+        {
+            "name": b.name,
+            "description": b.description,
+            "available": b.available() or "yes",
+        }
+        for b in _REGISTRY.values()
+    ]
+
+
+# ---------------------------------------------------------------------------
+# the entry point
+# ---------------------------------------------------------------------------
+
+
+def execute(
+    program: LoopProgram,
+    schedule: Schedule,
+    params: Optional[Mapping[str, int]] = None,
+    store: Optional[ArrayStore] = None,
+    config: Optional[ExecConfig] = None,
+    rng: Optional[random.Random] = None,
+    **overrides,
+) -> RunResult:
+    """Run ``schedule`` through the configured backend; returns a
+    :class:`RunResult`.
+
+    ``config`` carries every knob (``None`` = defaults: serial, shuffle seed
+    0); keyword ``overrides`` (``backend=``, ``workers=``, ``seed=``, ...)
+    are applied on top via :func:`dataclasses.replace`, so one-off calls
+    don't need to build a config — ``execute(prog, sched, backend="process",
+    workers=4)``.  ``rng`` supplies a caller-owned shuffle generator
+    (overrides ``seed``), mirroring the historical executors.
+
+    Raises :class:`BackendUnavailable` when the backend's probe says it
+    cannot run here (e.g. the process backend without ``/dev/shm``).
+    """
+    cfg = config if config is not None else ExecConfig()
+    if overrides:
+        cfg = replace(cfg, **overrides)
+    backend = get_backend(cfg.backend)
+    reason = backend.available()
+    if reason is not None:
+        raise BackendUnavailable(f"backend {cfg.backend!r} unavailable: {reason}")
+    return backend.runner(program, schedule, dict(params or {}), store, cfg, rng)
+
+
+def _resolve_rng(
+    config: ExecConfig, rng: Optional[random.Random]
+) -> Optional[random.Random]:
+    """The shared seed/rng contract: an explicit ``rng`` wins, else ``seed``
+    creates a private generator, and ``seed=None`` disables shuffling."""
+    if rng is not None:
+        return rng
+    if config.seed is not None:
+        return random.Random(config.seed)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# built-in backends
+# ---------------------------------------------------------------------------
+
+
+def _serial_runner(
+    program: LoopProgram,
+    schedule: Schedule,
+    params: Dict[str, int],
+    store: Optional[ArrayStore],
+    config: ExecConfig,
+    rng: Optional[random.Random],
+) -> RunResult:
+    """The reference executor: one process, phases in order, units shuffled."""
+    store = store if store is not None else make_store(program)
+    contexts = {ctx.statement.label: ctx for ctx in program.statement_contexts()}
+    rng = _resolve_rng(config, rng)
+    stats: List[PhaseStats] = []
+    t_run = time.perf_counter()
+    for phase in schedule.phases:
+        t0 = time.perf_counter()
+        if isinstance(phase, ArrayPhase):
+            ctx = contexts[phase.label]
+            rows = phase.points.tolist()
+            if rng is not None:
+                rng.shuffle(rows)
+            stmt, index_names = ctx.statement, ctx.index_names
+            for row in rows:
+                _execute_instance(stmt, row, index_names, store)
+            executed = len(rows)
+        elif isinstance(phase, UnifiedArrayPhase):
+            # Statement-level array phases: rows are unified index vectors;
+            # the iteration vector is the odd columns up to the statement's
+            # depth — executed directly, no unit objects.
+            stmts = [contexts[label] for label in phase.labels]
+            depths = phase.depths
+            entries = list(zip(phase.stmt_ids.tolist(), phase.rows.tolist()))
+            if rng is not None:
+                rng.shuffle(entries)
+            for sid, row in entries:
+                ctx = stmts[sid]
+                _execute_instance(
+                    ctx.statement, row[1 : 2 * depths[sid] : 2],
+                    ctx.index_names, store,
+                )
+            executed = len(entries)
+        else:
+            units = list(phase.units)
+            if rng is not None:
+                rng.shuffle(units)
+            executed = 0
+            for unit in units:
+                for label, iteration in unit.instances:
+                    ctx = contexts[label]
+                    _execute_instance(ctx.statement, iteration, ctx.index_names, store)
+                    executed += 1
+        stats.append(
+            PhaseStats(phase.name, executed, len(phase), 1, time.perf_counter() - t0)
+        )
+    return RunResult(
+        store=store,
+        backend="serial",
+        workers=1,
+        phase_stats=tuple(stats),
+        elapsed_s=time.perf_counter() - t_run,
+    )
+
+
+def _threaded_runner(
+    program: LoopProgram,
+    schedule: Schedule,
+    params: Dict[str, int],
+    store: Optional[ArrayStore],
+    config: ExecConfig,
+    rng: Optional[random.Random],
+) -> RunResult:
+    from .threaded import _run_schedule_threaded
+
+    return _run_schedule_threaded(program, schedule, params, store, config, rng)
+
+
+def _process_runner(
+    program: LoopProgram,
+    schedule: Schedule,
+    params: Dict[str, int],
+    store: Optional[ArrayStore],
+    config: ExecConfig,
+    rng: Optional[random.Random],
+) -> RunResult:
+    from .process import ProcessPool
+
+    if not config.lock_free:
+        raise ValueError(
+            "the process backend is lock-free only: partition schedules are "
+            "race-free inside a phase; use backend='threaded' for per-array "
+            "locking of unvalidated schedules"
+        )
+    store = store if store is not None else make_store(program)
+    rng = _resolve_rng(config, rng)
+    stats: List[PhaseStats] = []
+    t_run = time.perf_counter()
+    with ProcessPool(
+        program, store, workers=config.workers, mp_context=config.mp_context
+    ) as pool:
+        start_method = pool.start_method
+        for phase in schedule.phases:
+            t0 = time.perf_counter()
+            executed, tasks = pool.run_phase(phase, rng)
+            stats.append(
+                PhaseStats(
+                    phase.name, executed, len(phase), tasks,
+                    time.perf_counter() - t0,
+                )
+            )
+        # The shared segment is authoritative; fill the caller's store so the
+        # mutate-in-place contract matches every other backend.
+        pool.copy_out(store)
+    return RunResult(
+        store=store,
+        backend="process",
+        workers=config.workers,
+        phase_stats=tuple(stats),
+        elapsed_s=time.perf_counter() - t_run,
+        meta={"start_method": start_method},
+    )
+
+
+def _process_available() -> Optional[str]:
+    try:
+        from .process import process_unavailable_reason
+    except Exception as exc:  # pragma: no cover - import is stdlib-only
+        return f"process backend import failed: {exc}"
+    return process_unavailable_reason()
+
+
+def _simulated_runner(
+    program: LoopProgram,
+    schedule: Schedule,
+    params: Dict[str, int],
+    store: Optional[ArrayStore],
+    config: ExecConfig,
+    rng: Optional[random.Random],
+) -> RunResult:
+    """Wrap the deterministic SMP cost model: nothing is executed, the
+    modelled per-phase makespans become the timing counters and the headline
+    numbers land in ``meta``."""
+    sim = simulate_schedule(
+        schedule, processors=config.workers, cost_model=config.cost_model
+    )
+    stats = tuple(
+        PhaseStats(ph.name, ph.work, len(ph), config.workers, float(t))
+        for ph, t in zip(schedule.phases, sim.phase_times)
+    )
+    return RunResult(
+        store=None,
+        backend="simulated",
+        workers=config.workers,
+        phase_stats=stats,
+        elapsed_s=float(sim.parallel_time),
+        meta={
+            "simulated": True,
+            "speedup": sim.speedup,
+            "sequential_time": sim.sequential_time,
+            "efficiency": sim.efficiency,
+            "utilization": sim.utilization,
+        },
+    )
+
+
+register_backend(ExecutionBackend(
+    name="serial",
+    description="single process, phases in order, shuffled intra-phase order",
+    runner=_serial_runner,
+))
+register_backend(ExecutionBackend(
+    name="threaded",
+    description="thread pool with phase barriers (correctness under the GIL)",
+    runner=_threaded_runner,
+))
+register_backend(ExecutionBackend(
+    name="process",
+    description="shared-memory process pool (wall-clock speedup on multi-core)",
+    runner=_process_runner,
+    available=_process_available,
+))
+register_backend(ExecutionBackend(
+    name="simulated",
+    description="deterministic SMP cost model (no arrays touched)",
+    runner=_simulated_runner,
+))

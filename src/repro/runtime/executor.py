@@ -9,7 +9,10 @@ Two executors are provided:
   (deliberately shuffled) order to emulate concurrent execution: if the
   schedule is only correct under some lucky intra-phase ordering, shuffling
   exposes the bug.  Instances inside a unit keep their order (a WHILE chain is
-  sequential by construction).
+  sequential by construction).  Since the backend registry landed this is a
+  shim over the registered ``serial`` backend (see
+  :mod:`repro.runtime.backends`); the threaded, process-pool and simulated
+  executors live behind the same registry.
 
 Array stores are dictionaries ``name -> numpy int64 array``; statement
 semantics are exact integer functions (see :mod:`repro.ir.semantics`), so
@@ -25,7 +28,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..core.schedule import ArrayPhase, Instance, Schedule, UnifiedArrayPhase
+from ..core.schedule import Schedule
 from ..ir.nodes import Statement
 from ..ir.program import LoopProgram
 from ..ir.semantics import DEFAULT_SEMANTICS
@@ -42,20 +45,27 @@ __all__ = [
 ArrayStore = Dict[str, np.ndarray]
 
 
-def make_store(program: LoopProgram, fill: str = "index") -> ArrayStore:
+def make_store(program: LoopProgram, fill: str = "index", seed: int = 0) -> ArrayStore:
     """Allocate the arrays a program touches.
 
     ``fill='index'`` initialises each array with distinct small integers
     (deterministic), which maximises the chance that an ordering bug changes
-    the final contents; ``fill='zeros'`` gives all-zero arrays.
+    the final contents; ``fill='zeros'`` gives all-zero arrays;
+    ``fill='random'`` draws seeded uniform integers in ``[1, 1009)`` —
+    deterministic for a given ``seed``, used by the differential harness to
+    vary the initial contents across examples (``seed`` is ignored by the
+    other fill modes).
     """
     store: ArrayStore = {}
+    rng = np.random.default_rng(seed) if fill == "random" else None
     for name, shape in program.array_shapes.items():
         size = int(np.prod(shape))
         if fill == "index":
             data = (np.arange(size, dtype=np.int64) % 1009) + 1
         elif fill == "zeros":
             data = np.zeros(size, dtype=np.int64)
+        elif fill == "random":
+            data = rng.integers(1, 1009, size=size, dtype=np.int64)
         else:
             raise ValueError(f"unknown fill mode {fill!r}")
         store[name] = data.reshape(shape)
@@ -67,14 +77,14 @@ def make_store(program: LoopProgram, fill: str = "index") -> ArrayStore:
     return store
 
 
-def _execute_instance(
-    stmt: Statement,
-    iteration: Sequence[int],
-    index_names: Sequence[str],
-    store: ArrayStore,
-) -> None:
-    """Run one statement instance: gather reads, compute, store through writes."""
-    env = dict(zip(index_names, iteration))
+def _execute_instance_env(stmt: Statement, env: Mapping[str, int], store: ArrayStore) -> None:
+    """Run one statement instance against a prebuilt environment: gather
+    reads, compute, store through writes.
+
+    The single definition of statement dispatch — the serial, threaded and
+    process backends all execute through this body (the differential harness
+    pins them bit-identical, which only holds while they share it).
+    """
     read_values = []
     for ref in stmt.reads:
         idx = ref.evaluate(env)
@@ -84,6 +94,16 @@ def _execute_instance(
     for ref in stmt.writes:
         idx = ref.evaluate(env)
         store[ref.array][idx] = int(value)
+
+
+def _execute_instance(
+    stmt: Statement,
+    iteration: Sequence[int],
+    index_names: Sequence[str],
+    store: ArrayStore,
+) -> None:
+    """Run one statement instance from its iteration vector."""
+    _execute_instance_env(stmt, dict(zip(index_names, iteration)), store)
 
 
 def execute_sequential(
@@ -110,6 +130,12 @@ def execute_schedule(
 ) -> ArrayStore:
     """Run a partitioned schedule phase by phase; returns the final store.
 
+    A thin shim over the ``serial`` backend of the
+    :mod:`repro.runtime.backends` registry, kept for its historical
+    signature/return (a bare store); new call sites should use
+    :func:`repro.runtime.backends.execute`, which also reports per-phase
+    counters.
+
     Within each phase the units are executed in a shuffled order to emulate an
     arbitrary interleaving of the parallel units; inside a unit the instance
     order is preserved.  The shuffle draws from a private ``random.Random``
@@ -121,45 +147,12 @@ def execute_schedule(
     :class:`~repro.core.schedule.ArrayPhase` phases are executed directly off
     their ``(n, dim)`` point array — no per-point unit objects are built.
     """
-    store = store if store is not None else make_store(program)
-    contexts = {ctx.statement.label: ctx for ctx in program.statement_contexts()}
-    shuffle = rng is not None or seed is not None
-    if rng is None:
-        rng = random.Random(seed)
-    for phase in schedule.phases:
-        if isinstance(phase, ArrayPhase):
-            ctx = contexts[phase.label]
-            rows = phase.points.tolist()
-            if shuffle:
-                rng.shuffle(rows)
-            stmt, index_names = ctx.statement, ctx.index_names
-            for row in rows:
-                _execute_instance(stmt, row, index_names, store)
-            continue
-        if isinstance(phase, UnifiedArrayPhase):
-            # Statement-level array phases: rows are unified index vectors;
-            # the iteration vector is the odd columns up to the statement's
-            # depth — executed directly, no unit objects.
-            stmts = [contexts[label] for label in phase.labels]
-            depths = phase.depths
-            entries = list(zip(phase.stmt_ids.tolist(), phase.rows.tolist()))
-            if shuffle:
-                rng.shuffle(entries)
-            for sid, row in entries:
-                ctx = stmts[sid]
-                _execute_instance(
-                    ctx.statement, row[1 : 2 * depths[sid] : 2],
-                    ctx.index_names, store,
-                )
-            continue
-        units = list(phase.units)
-        if shuffle:
-            rng.shuffle(units)
-        for unit in units:
-            for label, iteration in unit.instances:
-                ctx = contexts[label]
-                _execute_instance(ctx.statement, iteration, ctx.index_names, store)
-    return store
+    from .backends import ExecConfig, execute
+
+    return execute(
+        program, schedule, params, store=store,
+        config=ExecConfig(backend="serial", seed=seed), rng=rng,
+    ).store
 
 
 @dataclass(frozen=True)
@@ -175,7 +168,16 @@ class ValidationReport:
 
     @property
     def ok(self) -> bool:
-        return self.covers_all_instances and self.arrays_match
+        # respects_dependences defaults to True when no dependences were
+        # supplied, so including it here makes `ok` cover the dependence
+        # check exactly when the caller asked for one — a schedule that
+        # violates dependences but got lucky on the tested shuffles must
+        # not report OK.
+        return (
+            self.covers_all_instances
+            and self.respects_dependences
+            and self.arrays_match
+        )
 
     def __str__(self) -> str:
         status = "OK" if self.ok else "FAILED"

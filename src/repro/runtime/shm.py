@@ -1,0 +1,191 @@
+"""Shared-memory array stores for the ``process`` execution backend.
+
+The process backend (see :mod:`repro.runtime.process`) must give several
+worker processes *shared mutable* access to the program's arrays — the same
+memory behaviour the paper's OpenMP runs have — without pickling array
+contents back and forth.  This module provides the layout layer:
+
+* :class:`ArrayDescriptor` — one array's placement inside the segment, the
+  ``(name, shape, dtype, offset)`` quadruple that is the *only* thing shipped
+  to a worker about an array (a few dozen bytes, never the data);
+* :class:`SharedArrayStore` — all arrays of a store packed into **one**
+  ``multiprocessing.shared_memory`` segment.  The creating side copies the
+  initial contents in and owns the segment's lifetime (``unlink``); workers
+  :meth:`attach` once by segment name and build numpy views straight onto the
+  shared buffer, so every element written by any process is immediately
+  visible to all of them.
+
+Layout: arrays are packed in sorted-name order, each offset aligned to
+:data:`ALIGNMENT` bytes (cache-line aligned, and safe for any numpy dtype).
+The descriptor table is computed once by the creator and shipped to workers
+verbatim — both sides derive their views from the same quadruples, so there
+is no schema to keep in sync.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["ALIGNMENT", "ArrayDescriptor", "SharedArrayStore", "shared_memory_unavailable_reason"]
+
+#: Per-array alignment inside the segment (one cache line).
+ALIGNMENT = 64
+
+
+@dataclass(frozen=True)
+class ArrayDescriptor:
+    """Where one array lives inside the shared segment.
+
+    ``dtype`` is the numpy dtype string (``"int64"``), not the dtype object,
+    so the descriptor pickles to a few bytes and is stable across processes.
+    """
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: str
+    offset: int
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.prod(self.shape, dtype=np.int64)) * np.dtype(self.dtype).itemsize
+
+
+def _align(offset: int) -> int:
+    return (offset + ALIGNMENT - 1) // ALIGNMENT * ALIGNMENT
+
+
+def _layout(store: Mapping[str, np.ndarray]) -> Tuple[Tuple[ArrayDescriptor, ...], int]:
+    """Pack the store's arrays into descriptors; returns (table, total bytes)."""
+    table = []
+    offset = 0
+    for name in sorted(store):
+        arr = np.ascontiguousarray(store[name])
+        offset = _align(offset)
+        table.append(
+            ArrayDescriptor(
+                name=name,
+                shape=tuple(int(d) for d in arr.shape),
+                dtype=arr.dtype.str,
+                offset=offset,
+            )
+        )
+        offset += arr.nbytes
+    return tuple(table), max(offset, 1)
+
+
+def _views(
+    buf: memoryview, table: Tuple[ArrayDescriptor, ...]
+) -> Dict[str, np.ndarray]:
+    """Numpy views onto the shared buffer, one per descriptor."""
+    views: Dict[str, np.ndarray] = {}
+    for d in table:
+        views[d.name] = np.ndarray(
+            d.shape, dtype=np.dtype(d.dtype), buffer=buf, offset=d.offset
+        )
+    return views
+
+
+class SharedArrayStore:
+    """A ``name -> numpy array`` store backed by one shared-memory segment.
+
+    Create with :meth:`from_store` (copies the initial contents in and owns
+    the segment) or :meth:`attach` (a worker mapping an existing segment by
+    name; never owns it).  :attr:`arrays` are writable numpy views onto the
+    shared buffer — mutations are visible to every attached process with no
+    copying or pickling.
+    """
+
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        descriptors: Tuple[ArrayDescriptor, ...],
+        owner: bool,
+    ):
+        self._shm = shm
+        self.descriptors = tuple(descriptors)
+        self.owner = owner
+        self.arrays: Dict[str, np.ndarray] = _views(shm.buf, self.descriptors)
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def from_store(cls, store: Mapping[str, np.ndarray]) -> "SharedArrayStore":
+        """Create a segment sized for ``store`` and copy its contents in."""
+        table, total = _layout(store)
+        shm = shared_memory.SharedMemory(create=True, size=total)
+        out = cls(shm, table, owner=True)
+        for name, arr in store.items():
+            out.arrays[name][...] = arr
+        return out
+
+    @classmethod
+    def attach(
+        cls, shm_name: str, descriptors: Tuple[ArrayDescriptor, ...]
+    ) -> "SharedArrayStore":
+        """Map an existing segment by name (the worker side; attach once)."""
+        shm = shared_memory.SharedMemory(name=shm_name)
+        return cls(shm, descriptors, owner=False)
+
+    # -- the wire-format identity of the store ----------------------------------
+
+    @property
+    def shm_name(self) -> str:
+        return self._shm.name
+
+    def copy_out(self, into: Optional[Dict[str, np.ndarray]] = None) -> Dict[str, np.ndarray]:
+        """Copy every array out of shared memory.
+
+        ``into`` (when given) receives the contents in place — the process
+        backend uses this to fill the caller's original store, preserving the
+        other backends' mutate-the-given-store contract.
+        """
+        if into is None:
+            return {name: arr.copy() for name, arr in self.arrays.items()}
+        for name, arr in self.arrays.items():
+            into[name][...] = arr
+        return into
+
+    # -- lifetime ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """Drop this process's mapping (views become invalid)."""
+        self.arrays = {}
+        self._shm.close()
+
+    def unlink(self) -> None:
+        """Destroy the segment (owner only; call after every worker closed)."""
+        if self.owner:
+            self._shm.unlink()
+
+    def __enter__(self) -> "SharedArrayStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+        if self.owner:
+            self.unlink()
+
+    def __repr__(self) -> str:
+        return (
+            f"SharedArrayStore({self.shm_name!r}, {len(self.descriptors)} arrays, "
+            f"{'owner' if self.owner else 'attached'})"
+        )
+
+
+def shared_memory_unavailable_reason() -> Optional[str]:
+    """``None`` when POSIX shared memory works here, else a human reason.
+
+    Probes by creating (and immediately destroying) a tiny segment — the only
+    reliable check for a missing or unwritable ``/dev/shm``.
+    """
+    try:
+        probe = shared_memory.SharedMemory(create=True, size=8)
+    except Exception as exc:  # pragma: no cover - environment dependent
+        return f"shared memory unavailable: {exc}"
+    probe.close()
+    probe.unlink()
+    return None

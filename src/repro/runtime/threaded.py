@@ -9,11 +9,15 @@ synchronization structure is exactly the generated code's structure
 
 Because of the GIL this does not demonstrate wall-clock *speedups* — it
 demonstrates *correctness under real concurrency*: arbitrary interleaving of
-the units of a phase must still produce the sequential result.  Wall-clock
-speedup claims are made with the cost-model simulator (see DESIGN.md §2).
-A process-pool variant is intentionally not provided: the workload's shared
-mutable arrays are the point, and copying them per process would change the
-memory behaviour being modelled.
+the units of a phase must still produce the sequential result.  For measured
+wall-clock speedups use the ``process`` backend of the
+:mod:`repro.runtime.backends` registry: it keeps the workload's
+shared-mutable-array semantics by placing every array in one
+``multiprocessing.shared_memory`` segment that all workers attach
+(:mod:`repro.runtime.process`), so the memory behaviour being modelled is
+preserved while the statement interpreter runs on real cores.  The cost-model
+simulator (``simulated`` backend, DESIGN.md §2) remains the deterministic
+speedup *model*.
 
 Execution is lock-free by default: a partition-derived schedule is race-free
 by construction (units of a phase never touch overlapping elements in a
@@ -29,25 +33,32 @@ from __future__ import annotations
 
 import random
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import ExitStack
 from dataclasses import dataclass
-from queue import Queue
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import List, Mapping, Optional, Sequence
 
 import numpy as np
 
 from ..core.schedule import ArrayPhase, Schedule, UnifiedArrayPhase
 from ..ir.program import LoopProgram
-from ..ir.semantics import DEFAULT_SEMANTICS
-from .executor import ArrayStore, make_store
+from .executor import ArrayStore, _execute_instance_env, make_store
 
 __all__ = ["ThreadedRun", "execute_schedule_threaded"]
 
 
 @dataclass(frozen=True)
 class ThreadedRun:
-    """Result of a threaded execution: the store plus simple timing counters."""
+    """Result of a threaded execution: the store plus simple timing counters.
+
+    Deprecated in favour of :class:`repro.runtime.backends.RunResult` — the
+    unified result object every registered backend returns.  Kept (and still
+    returned by the :func:`execute_schedule_threaded` shim) so historical
+    callers keep working; new code should call
+    ``execute(..., backend="threaded")`` and read the richer per-phase
+    counters off the :class:`~repro.runtime.backends.RunResult`.
+    """
 
     store: ArrayStore
     n_threads: int
@@ -55,17 +66,8 @@ class ThreadedRun:
     instances_executed: int
 
 
-def _execute_instance(stmt, env, store) -> None:
-    """One statement instance: gather reads, compute, store through writes."""
-    reads = []
-    for ref in stmt.reads:
-        idx = ref.evaluate(env)
-        reads.append(int(store[ref.array][idx]))
-    semantics = stmt.semantics or DEFAULT_SEMANTICS
-    value = semantics(store, env, reads)
-    for ref in stmt.writes:
-        idx = ref.evaluate(env)
-        store[ref.array][idx] = int(value)
+# One statement instance: the shared dispatch body (see executor.py).
+_execute_instance = _execute_instance_env
 
 
 def _run_units(
@@ -172,41 +174,31 @@ def _run_unified_rows(
     return executed
 
 
-def execute_schedule_threaded(
+def _run_schedule_threaded(
     program: LoopProgram,
     schedule: Schedule,
-    params: Mapping[str, int] | None = None,
-    n_threads: int = 4,
-    store: Optional[ArrayStore] = None,
-    lock_free: bool = True,
-    seed: Optional[int] = None,
-    rng: Optional[random.Random] = None,
-) -> ThreadedRun:
-    """Execute a schedule with a real thread pool and phase barriers.
+    params: Mapping[str, int],
+    store: Optional[ArrayStore],
+    config,
+    rng: Optional[random.Random],
+):
+    """The ``threaded`` backend runner (see :mod:`repro.runtime.backends`):
+    a real thread pool with barriers between phases, returning the unified
+    :class:`~repro.runtime.backends.RunResult`."""
+    from .backends import PhaseStats, RunResult
 
-    ``lock_free=False`` guards every instance with the per-array locks
-    described in the module docstring; the default trusts the schedule's
-    phase structure (as the paper's generated OpenMP code does).
-
-    ``seed``/``rng`` mirror :func:`~repro.runtime.executor.execute_schedule`:
-    when either is given, each phase's units (or array rows) are shuffled
-    with a private ``random.Random`` before the round-robin distribution, so
-    the worker assignment — not just the interleaving — varies between runs.
-    The default (both ``None``) keeps the historical deterministic
-    distribution; ``Plan.execute(threads=…)`` passes its configured seed so
-    both executors are driven uniformly.
-    """
-    if n_threads < 1:
-        raise ValueError("n_threads must be >= 1")
+    n_threads = config.workers
     store = store if store is not None else make_store(program)
     contexts = {ctx.statement.label: ctx for ctx in program.statement_contexts()}
-    locks = None if lock_free else {name: threading.Lock() for name in store}
-    shuffle = rng is not None or seed is not None
+    locks = None if config.lock_free else {name: threading.Lock() for name in store}
+    shuffle = rng is not None or config.seed is not None
     if shuffle and rng is None:
-        rng = random.Random(seed)
-    instances = 0
+        rng = random.Random(config.seed)
+    stats = []
+    t_run = time.perf_counter()
     with ThreadPoolExecutor(max_workers=n_threads) as pool:
         for phase in schedule.phases:
+            t0 = time.perf_counter()
             if isinstance(phase, ArrayPhase):
                 # Array phases: round-robin the point rows themselves — each
                 # worker gets a strided view, no unit objects are built.
@@ -253,11 +245,66 @@ def execute_schedule_threaded(
                     if s
                 ]
             # The implicit barrier: wait for every worker before the next phase.
+            executed = 0
             for f in futures:
-                instances += f.result()
-    return ThreadedRun(
+                executed += f.result()
+            stats.append(
+                PhaseStats(
+                    phase.name, executed, len(phase), len(futures),
+                    time.perf_counter() - t0,
+                )
+            )
+    return RunResult(
         store=store,
-        n_threads=n_threads,
-        phases_executed=len(schedule.phases),
-        instances_executed=instances,
+        backend="threaded",
+        workers=n_threads,
+        phase_stats=tuple(stats),
+        elapsed_s=time.perf_counter() - t_run,
+        meta={"lock_free": config.lock_free},
+    )
+
+
+def execute_schedule_threaded(
+    program: LoopProgram,
+    schedule: Schedule,
+    params: Mapping[str, int] | None = None,
+    n_threads: int = 4,
+    store: Optional[ArrayStore] = None,
+    lock_free: bool = True,
+    seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+) -> ThreadedRun:
+    """Execute a schedule with a real thread pool and phase barriers.
+
+    A thin shim over the ``threaded`` backend of the
+    :mod:`repro.runtime.backends` registry, kept for its historical signature
+    (``n_threads``, shuffle off by default) and :class:`ThreadedRun` return;
+    new call sites should use :func:`repro.runtime.backends.execute`.
+
+    ``lock_free=False`` guards every instance with the per-array locks
+    described in the module docstring; the default trusts the schedule's
+    phase structure (as the paper's generated OpenMP code does).
+
+    ``seed``/``rng`` mirror :func:`~repro.runtime.executor.execute_schedule`:
+    when either is given, each phase's units (or array rows) are shuffled
+    with a private ``random.Random`` before the round-robin distribution, so
+    the worker assignment — not just the interleaving — varies between runs.
+    The default (both ``None``) keeps the historical deterministic
+    distribution; ``Plan.execute(threads=…)`` passes its configured seed so
+    both executors are driven uniformly.
+    """
+    from .backends import ExecConfig, execute
+
+    result = execute(
+        program, schedule, params, store=store,
+        config=ExecConfig(
+            backend="threaded", workers=n_threads, seed=seed, lock_free=lock_free
+        ),
+        rng=rng,
+    )
+    return ThreadedRun(
+        store=result.store,
+        n_threads=result.workers,
+        phases_executed=result.phases_executed,
+        instances_executed=result.instances_executed,
     )

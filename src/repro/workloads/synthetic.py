@@ -155,7 +155,9 @@ def random_coupled_loop(
     )
 
 
-def large_uniform_loop(n1: int, n2: int, name: str = "large-uniform") -> LoopProgram:
+def large_uniform_loop(
+    n1: int, n2: int, name: str = "large-uniform", semantics=None
+) -> LoopProgram:
     """A 2-D nest with one uniform coupled pair, usable at very large bounds.
 
         DO I1 = 1, n1
@@ -166,8 +168,16 @@ def large_uniform_loop(n1: int, n2: int, name: str = "large-uniform") -> LoopPro
     relation is known in closed form (see :func:`scale_partition_case`) and the
     program scales to the 10⁵–10⁶-iteration spaces the vectorised partitioning
     engine targets without paying the exact analyser's pair enumeration.
+
+    ``semantics`` overrides the statement's executable meaning (e.g.
+    :func:`repro.ir.semantics.compute_heavy_semantics` for the
+    process-backend speedup benchmark, where per-instance compute must
+    dominate interpreter dispatch).
     """
-    body = assign("s", aref("x", "I1+1", "I2+1"), [aref("x", "I1", "I2")])
+    body = assign(
+        "s", aref("x", "I1+1", "I2+1"), [aref("x", "I1", "I2")],
+        semantics=semantics,
+    )
     return program(
         name,
         loop("I1", 1, n1, loop("I2", 1, n2, body)),

@@ -1,0 +1,90 @@
+"""Property-based differential tests for the execution-backend registry.
+
+The planning side pins its set/vector engines bit-identical on
+Hypothesis-generated programs (``tests/core/test_statement_differential.py``);
+this module does the same for the runtime side: **every executing backend of
+the registry — serial, threaded, process — must produce a final store
+bit-identical to ``execute_sequential``** on the same generated program
+stream, over *varied* initial stores (``make_store(fill="random", seed=...)``
+— a schedule bug that only corrupts some initial contents still has to be
+caught).
+
+The schedules come from the always-applicable dataflow strategy, whose
+validity on generated programs is already pinned by the statement-level
+differential suite; here the property under test is the *executor*, not the
+partitioner.  The process-backend property forks a 2-worker pool per example,
+so it runs a reduced example budget.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+import hypothesis.strategies as st
+
+from repro.core.partitioner import dataflow_branch
+from repro.runtime import execute, execute_sequential, make_store
+from repro.runtime.process import process_unavailable_reason
+from strategies import loop_programs
+
+
+def _reference_and_schedule(prog, engine, fill_seed):
+    schedule = dataflow_branch(prog, {}, engine=engine).schedule
+    init = make_store(prog, fill="random", seed=fill_seed)
+    ref = execute_sequential(
+        prog, {}, store={k: v.copy() for k, v in init.items()}
+    )
+    return schedule, init, ref
+
+def _assert_backend_matches(prog, schedule, init, ref, backend, **overrides):
+    store = {k: v.copy() for k, v in init.items()}
+    result = execute(prog, schedule, {}, store=store, backend=backend, **overrides)
+    for name in ref:
+        assert np.array_equal(ref[name], result.store[name]), (
+            f"{backend} diverged from sequential on {name!r}"
+        )
+
+
+class TestBackendDifferential:
+    @given(prog=loop_programs(), engine=st.sampled_from(["set", "vector"]),
+           fill_seed=st.integers(0, 2**16))
+    def test_serial_backend_bit_identical(self, prog, engine, fill_seed):
+        schedule, init, ref = _reference_and_schedule(prog, engine, fill_seed)
+        _assert_backend_matches(prog, schedule, init, ref, "serial", seed=fill_seed)
+
+    @given(prog=loop_programs(), engine=st.sampled_from(["set", "vector"]),
+           fill_seed=st.integers(0, 2**16))
+    def test_threaded_backend_bit_identical(self, prog, engine, fill_seed):
+        schedule, init, ref = _reference_and_schedule(prog, engine, fill_seed)
+        _assert_backend_matches(
+            prog, schedule, init, ref, "threaded", workers=2, seed=fill_seed
+        )
+
+    @pytest.mark.skipif(
+        process_unavailable_reason() is not None,
+        reason=f"process backend unavailable: {process_unavailable_reason()}",
+    )
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(prog=loop_programs(), engine=st.sampled_from(["set", "vector"]),
+           fill_seed=st.integers(0, 2**16))
+    def test_process_backend_bit_identical(self, prog, engine, fill_seed):
+        schedule, init, ref = _reference_and_schedule(prog, engine, fill_seed)
+        _assert_backend_matches(
+            prog, schedule, init, ref, "process", workers=2, seed=fill_seed
+        )
+
+    @given(prog=loop_programs(min_statements=2), fill_seed=st.integers(0, 2**16))
+    def test_backends_agree_across_engines(self, prog, fill_seed):
+        """Set-engine and vector-engine schedules of the same program execute
+        to the same store through the registry (phase kind must not matter)."""
+        set_schedule = dataflow_branch(prog, {}, engine="set").schedule
+        vec_schedule = dataflow_branch(prog, {}, engine="vector").schedule
+        init = make_store(prog, fill="random", seed=fill_seed)
+        outs = []
+        for schedule in (set_schedule, vec_schedule):
+            store = {k: v.copy() for k, v in init.items()}
+            outs.append(
+                execute(prog, schedule, {}, store=store, backend="serial").store
+            )
+        for name in outs[0]:
+            assert np.array_equal(outs[0][name], outs[1][name])

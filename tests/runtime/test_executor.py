@@ -26,7 +26,23 @@ class TestStore:
         assert make_store(prog, fill="zeros")["a"].sum() == 0
         assert make_store(prog, fill="index")["a"].min() >= 1
         with pytest.raises(ValueError):
-            make_store(prog, fill="random")
+            make_store(prog, fill="bogus")
+
+    def test_fill_random_is_seeded(self):
+        """fill='random' draws seeded values: same seed reproduces, different
+        seeds differ (the differential harness varies initial stores this way)."""
+        prog = figure2_loop(10)
+        a = make_store(prog, fill="random", seed=7)
+        b = make_store(prog, fill="random", seed=7)
+        c = make_store(prog, fill="random", seed=8)
+        assert np.array_equal(a["a"], b["a"])
+        assert not np.array_equal(a["a"], c["a"])
+        assert a["a"].min() >= 1 and a["a"].dtype == np.int64
+        # seed is ignored by the deterministic modes
+        assert np.array_equal(
+            make_store(prog, fill="index", seed=1)["a"],
+            make_store(prog, fill="index", seed=2)["a"],
+        )
 
     def test_missing_shape_detected(self):
         from repro.ir.builder import aref, assign, loop, program
@@ -119,6 +135,52 @@ class TestScheduleExecution:
         # the semantics check may or may not catch it for a specific shuffle,
         # but coverage and dependence checking make the report not-ok overall
         assert report.covers_all_instances
+        assert not report.ok
+
+    def test_ok_includes_dependence_check(self):
+        """A schedule that violates dependences but got lucky on every tested
+        shuffle must not report OK: `ok` covers the dependence check whenever
+        dependences were supplied (respects defaults to True otherwise)."""
+        from repro.runtime.executor import ValidationReport
+
+        lucky = ValidationReport(
+            program="p", schedule="s",
+            covers_all_instances=True, respects_dependences=False,
+            arrays_match=True,
+        )
+        assert not lucky.ok
+        assert "FAILED" in str(lucky)
+        no_deps = ValidationReport(
+            program="p", schedule="s",
+            covers_all_instances=True, respects_dependences=True,
+            arrays_match=True,
+        )
+        assert no_deps.ok
+
+    def test_ok_flags_unsafe_schedule_with_no_semantic_seeds(self):
+        """End to end: with zero semantic shuffle seeds (arrays vacuously
+        match), a dependence-violating schedule still fails validation."""
+        prog = figure1_loop(8, 8)
+        analysis_result = recurrence_chain_partition(prog)
+        flat = Schedule.from_phases(
+            "flat",
+            [
+                ParallelPhase(
+                    "all",
+                    tuple(
+                        ExecutionUnit.single(label, point)
+                        for label, point in analysis_result.schedule.instances()
+                    ),
+                )
+            ],
+        )
+        report = validate_schedule(
+            prog, flat, {}, dependences=analysis_result.analysis.iteration_dependences,
+            seeds=(),
+        )
+        assert report.arrays_match  # vacuous: nothing was executed
+        assert not report.respects_dependences
+        assert not report.ok
 
 
 class TestShuffleRng:

@@ -77,3 +77,68 @@ class TestThreadedExecution:
         )
         assert np.array_equal(ref["a"], run.store["a"])
         assert run.instances_executed == result.schedule.total_work
+
+
+class TestLockedPhaseKinds:
+    """lock_free=False exercises the per-array-lock worker bodies of all
+    three phase kinds: unit phases (above), ArrayPhase and UnifiedArrayPhase."""
+
+    def test_locked_array_phase_matches_sequential(self):
+        """The _run_rows lock path: ArrayPhase wavefronts under per-array
+        locks still produce the sequential result."""
+        from repro.core import ArrayPhase, PlanConfig, plan
+
+        from repro.workloads.synthetic import large_uniform_loop
+
+        prog = large_uniform_loop(10, 8)
+        p = plan(
+            prog,
+            config=PlanConfig(engine="vector", strategies=("dataflow",)),
+            cache=False,
+        )
+        assert all(isinstance(ph, ArrayPhase) for ph in p.schedule.phases)
+        ref = execute_sequential(prog, {})
+        run = execute_schedule_threaded(
+            prog, p.schedule, {}, n_threads=3, lock_free=False, seed=2
+        )
+        assert np.array_equal(ref["x"], run.store["x"])
+        assert run.instances_executed == p.schedule.total_work
+
+    def test_locked_unified_array_phase_matches_sequential(self):
+        """The _run_unified_rows lock path: statement-level UnifiedArrayPhase
+        wavefronts (multiple arrays per statement, sorted-lock acquisition)
+        under per-array locks still produce the sequential result."""
+        from repro.core import PlanConfig, UnifiedArrayPhase, plan
+
+        from repro.workloads.synthetic import large_cholesky_nest
+
+        prog = large_cholesky_nest(12)
+        p = plan(
+            prog,
+            config=PlanConfig(engine="vector", strategies=("dataflow",)),
+            cache=False,
+        )
+        assert all(isinstance(ph, UnifiedArrayPhase) for ph in p.schedule.phases)
+        ref = execute_sequential(prog, {})
+        run = execute_schedule_threaded(
+            prog, p.schedule, {}, n_threads=3, lock_free=False, seed=2
+        )
+        for name in ref:
+            assert np.array_equal(ref[name], run.store[name])
+        assert run.instances_executed == p.schedule.total_work
+
+    def test_locked_unit_phase_multi_array(self):
+        """The _run_units lock path on an imperfect nest touching two arrays
+        (locks acquired in sorted name order, no deadlock)."""
+        from repro.workloads.examples import example3_loop
+
+        prog = example3_loop(10)
+        from repro.core.partitioner import dataflow_branch
+
+        schedule = dataflow_branch(prog, {}, engine="set").schedule
+        ref = execute_sequential(prog, {})
+        run = execute_schedule_threaded(
+            prog, schedule, {}, n_threads=4, lock_free=False, seed=5
+        )
+        for name in ref:
+            assert np.array_equal(ref[name], run.store[name])
