@@ -68,7 +68,7 @@ from repro.core.partition import three_set_partition
 from repro.core.strategy import PlanCache, PlanConfig, plan
 from repro.dependence.analysis import DependenceAnalysis
 
-from conftest import emit, run_once
+from conftest import emit, run_once, stamp_rows
 
 #: (n1, n2) sweep: 10³, 10⁴ and 10⁵ iteration points.
 SIZES = [(40, 25), (125, 80), (500, 200)]
@@ -78,14 +78,19 @@ BENCH_JSON = Path(__file__).resolve().parents[1] / "BENCH_scale.json"
 
 
 def record_bench(section, rows):
-    """Merge one sweep's rows into the BENCH_scale.json perf-trajectory file."""
+    """Merge one sweep's rows into the BENCH_scale.json perf-trajectory file.
+
+    Every row is stamped with the session ``run_id`` and the machine
+    fingerprint (cpu_count / platform / Python version) so rows recorded on
+    different hosts are distinguishable.
+    """
     data = {}
     if BENCH_JSON.exists():
         try:
             data = json.loads(BENCH_JSON.read_text())
         except json.JSONDecodeError:
             data = {}
-    data[section] = rows
+    data[section] = stamp_rows(rows)
     BENCH_JSON.write_text(json.dumps(data, indent=2) + "\n")
 
 
@@ -324,24 +329,33 @@ def test_process_backend_speedup(report):
             for name in serial.store
         )
         assert proc.instances_executed == p.schedule.total_work
-        rows.append(
-            {
-                "points": n1 * n2,
-                "phases": p.schedule.num_phases,
-                "workers": workers,
-                "cpu_count": os.cpu_count(),
-                "t_serial_s": round(t_serial, 4),
-                "t_process_s": round(t_process, 4),
-                "speedup": round(t_serial / t_process, 2),
-            }
-        )
+        # On a single-core host the sub-1× "speedup" is expected (there is
+        # nothing to parallelise onto) and must not be mistaken for a
+        # regression: mark the row explicitly instead of recording it
+        # indistinguishably from a gated multi-core measurement.
+        multicore = (os.cpu_count() or 1) >= 2
+        row = {
+            "points": n1 * n2,
+            "phases": p.schedule.num_phases,
+            "workers": workers,
+            "cpu_count": os.cpu_count(),
+            "t_serial_s": round(t_serial, 4),
+            "t_process_s": round(t_process, 4),
+            "speedup": round(t_serial / t_process, 2),
+            "gated": multicore,
+        }
+        if not multicore:
+            row["gate_skip_reason"] = (
+                "cpu_count == 1: no parallel speedup is possible, "
+                "row recorded for trajectory only"
+            )
+        rows.append(row)
     report("Process-backend sweep: serial vs shared-memory pool", rows)
     record_bench("process_backend", rows)
 
     big = rows[-1]
     assert big["points"] >= 10**5
-    multicore = (os.cpu_count() or 1) >= 2
-    if multicore or os.environ.get("REPRO_REQUIRE_PROCESS_SPEEDUP"):
+    if big["gated"] or os.environ.get("REPRO_REQUIRE_PROCESS_SPEEDUP"):
         assert big["speedup"] > 1.0, (
             f"process backend only {big['speedup']}x the serial backend at "
             f"{big['points']} points with {workers} workers "

@@ -13,8 +13,31 @@ empty) are size-stable, and EXPERIMENTS.md records the parameters used.
 """
 
 import json
+import os
+import platform
+import uuid
 
 import pytest
+
+#: One id per bench session, stamped onto every recorded row so rows written
+#: by different runs (and different hosts) stay distinguishable in the
+#: perf-trajectory files.
+RUN_ID = uuid.uuid4().hex[:12]
+
+
+def machine_fingerprint():
+    """The host facts that make a recorded timing comparable to another."""
+    return {
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+    }
+
+
+def stamp_rows(rows):
+    """Stamp bench rows with the session ``run_id`` and machine fingerprint."""
+    fp = machine_fingerprint()
+    return [{**row, "run_id": RUN_ID, "machine": fp} for row in rows]
 
 
 def emit(title, payload):

@@ -10,6 +10,9 @@ setup(
     ),
     package_dir={"": "src"},
     packages=find_packages(where="src"),
+    # the calibrated strategy-selection table loaded by the default selector
+    package_data={"repro.core": ["selection_table.json"]},
+    include_package_data=True,
     python_requires=">=3.10",
     install_requires=["numpy>=1.24"],
 )

@@ -24,7 +24,7 @@ Sub-packages
 ``repro.runtime`` executors, SMP cost-model simulator, validation, metrics
 ``repro.baselines``  PDM, PL, unique sets, DOACROSS, tiling, inner-DOALL
 ``repro.workloads``  the paper's example loops and synthetic corpora
-``repro.analysis``   statistics, experiment harness, reporting
+``repro.analysis``   program features, statistics, experiment harness, reporting
 ================  ============================================================
 
 Quick start
@@ -51,9 +51,26 @@ identical object (the serving scenario — no re-analysis):
 >>> repro.plan(repro.workloads.figure1_loop(10, 10)) is p
 True
 
+Strategy selection is feature-driven: ``plan()`` reduces the nest to a
+:class:`~repro.analysis.features.ProgramFeatures` record and a **selector**
+ranks the strategy chain with it.  The default ``table`` selector looks the
+program's feature bucket up in the corpus-calibrated win table
+(``feature_rules`` ranks by each strategy's ``score(features)`` hook,
+``fixed`` replays the historical registration-order chain bit-identically).
+``Plan.explain()`` shows the features and the selection scores:
+
+>>> print(p.explain())  # doctest: +ELLIPSIS
+plan for 'figure1' (params {}, engine 'auto'):
+  selector 'table' (calibrated workload table)
+  features: depth=2 statements=1 (perfect, rect), 100 points, 18 dependences...
+  bucket: perfect|1cp|coupled|nonuniform|rect|d2|dep
+  - score recurrence-chains 1.00: calibrated: 1.00x the bucket's best simulated time
+  - score dataflow 0.99: calibrated: 1.01x the bucket's best simulated time
+...
+
 :class:`~repro.core.strategy.PlanConfig` centralises every knob — the
-set/vector engine, the bulk-threshold override, the strategy preference
-order — and ``Plan.explain()`` records why earlier strategies were skipped:
+set/vector engine, the bulk-threshold override, the selector, the pinned
+strategy order:
 
 >>> forced = repro.plan(prog, config=repro.PlanConfig(strategies=("pdm",)))
 >>> forced.scheme
@@ -61,11 +78,8 @@ order — and ``Plan.explain()`` records why earlier strategies were skipped:
 >>> imperfect = repro.plan(repro.workloads.example3_loop(8))
 >>> imperfect.strategy
 'dataflow'
->>> print(imperfect.explain())  # doctest: +ELLIPSIS
-plan for 'example3' (params {}, engine 'auto'):
-  - skipped recurrence-chains: needs exactly one coupled reference pair...
-  - selected dataflow (scheme 'dataflow')...
-...
+>>> imperfect.selection.bucket  # uncalibrated bucket -> feature-rule fallback
+'imperfect|mcp|coupled|mixed|nonrect|d3|free'
 
 Execution mirrors planning: every executor is a registered backend behind
 one entry point.  ``p.execute(backend="process", workers=2)`` runs the
@@ -99,12 +113,16 @@ same machinery.
 
 from . import analysis, baselines, codegen, core, dependence, ir, isl, runtime, workloads
 from .core.strategy import (
+    DEFAULT_SELECTOR,
     PartitionStrategy,
     Plan,
     PlanCache,
     PlanConfig,
+    SelectionReport,
+    StrategySelector,
     default_plan_cache,
     plan,
+    selector_names,
     strategy_names,
     strategy_table,
 )
@@ -133,7 +151,11 @@ __all__ = [
     "PlanConfig",
     "PlanCache",
     "PartitionStrategy",
+    "SelectionReport",
+    "StrategySelector",
+    "DEFAULT_SELECTOR",
     "default_plan_cache",
+    "selector_names",
     "strategy_names",
     "strategy_table",
     "ExecConfig",

@@ -1,5 +1,8 @@
-"""repro.analysis — corpus statistics, experiment harness and report formatting.
+"""repro.analysis — program features, corpus statistics, experiments, reports.
 
+* :mod:`repro.analysis.features` — the selector-facing
+  :class:`~repro.analysis.features.ProgramFeatures` summary of one plan
+  request (array-native extraction, cached on the plan fingerprint);
 * :mod:`repro.analysis.stats` — loop classification (coupled / uniform /
   non-uniform) and corpus aggregation for the §1 statistics;
 * :mod:`repro.analysis.experiments` — one ``run_*`` function per paper
@@ -9,6 +12,12 @@
 * :mod:`repro.analysis.report` — plain-text table formatting.
 """
 
+from .features import (
+    ProgramFeatures,
+    clear_feature_cache,
+    feature_cache_stats,
+    program_features,
+)
 from .experiments import (
     DEFAULT_COST_MODEL,
     DOACROSS_COST_MODEL,
@@ -33,6 +42,10 @@ from .report import format_dict, format_speedups, format_table
 from .stats import CorpusStatistics, LoopClassification, classify_loop, corpus_statistics
 
 __all__ = [
+    "ProgramFeatures",
+    "program_features",
+    "clear_feature_cache",
+    "feature_cache_stats",
     "run_figure1_dependences",
     "run_figure2_chains",
     "run_example1_partition",

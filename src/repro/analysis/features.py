@@ -1,0 +1,321 @@
+"""Program features for strategy selection.
+
+The paper's premise (§1, echoed by the SPECfp95-style corpus in
+:mod:`repro.workloads.corpus`) is that real loop nests are a *mix* — roughly
+46 % non-uniform, 45 % coupled-subscript — so no single partitioning scheme
+wins everywhere.  Acting on that requires knowing, per program, which mix it
+belongs to: this module reduces a :class:`~repro.dependence.analysis.DependenceAnalysis`
+to a small, hashable :class:`ProgramFeatures` record that the strategy
+selectors in :mod:`repro.core.strategy` rank against.
+
+Design constraints:
+
+* **array-native** — every fact is read off the analysis' cached array views
+  (``iteration_space_array``, ``statement_domain_array``, the array-backed
+  combined relation, :func:`~repro.dependence.distance.is_uniform_relation_arrays`
+  through :meth:`DependenceAnalysis.is_uniform`); no per-point Python set
+  algebra is introduced;
+* **shared work** — extraction consumes the *same* ``DependenceAnalysis``
+  object the winning strategy's builder will consume, so nothing the
+  selector touches is re-analysed by the build;
+* **bounded cost** — the one potentially super-linear fact, the wavefront
+  shape, is estimated from a dataflow peel of a lexicographic *prefix sample*
+  of the space when the space exceeds ``sample_cap`` points (the dependence
+  relation is restricted to the prefix and the level count is extrapolated
+  by the per-dimension extent ratio);
+* **cached on the plan fingerprint** — :func:`program_features` memoises on
+  ``(program fingerprint, params)``, so repeated planning of the same nest
+  (the serving scenario) never re-extracts, mirroring the plan cache.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..dependence.analysis import DependenceAnalysis
+from ..ir.program import LoopProgram
+
+__all__ = [
+    "ProgramFeatures",
+    "program_features",
+    "clear_feature_cache",
+    "feature_cache_stats",
+    "WAVEFRONT_SAMPLE_CAP",
+]
+
+#: Spaces larger than this are wavefront-estimated from a lexicographic
+#: prefix of this many points instead of a full dataflow peel.
+WAVEFRONT_SAMPLE_CAP = 20_000
+
+
+@dataclass(frozen=True)
+class ProgramFeatures:
+    """The selector-facing summary of one (program, params) pair.
+
+    ``uniform`` is three-valued: ``True``/``False`` for perfect nests (the
+    exhaustive §2 check over the combined relation) and ``None`` for
+    imperfect nests, where no single iteration-level relation exists.
+    ``wavefront_levels`` / ``wavefront_width`` describe the dataflow
+    wavefront shape — exact for small spaces, extrapolated from a prefix
+    sample (``sampled=True``) for large ones, ``None`` for imperfect nests
+    (their statement-level peel is exactly what the dataflow builder would
+    run, so probing it here would double the work).
+    """
+
+    program: str
+    nest_depth: int
+    n_statements: int
+    perfect_nest: bool
+    rectangular: bool
+    n_points: int
+    n_reference_pairs: int
+    n_coupled_pairs: int
+    coupled_subscripts: bool
+    single_coupled_pair: bool
+    n_dependences: int
+    uniform: Optional[bool]
+    wavefront_levels: Optional[int]
+    wavefront_width: Optional[float]
+    sampled: bool
+
+    @property
+    def dependence_density(self) -> float:
+        """Direct dependences per point — 0.0 for an empty space."""
+        return self.n_dependences / self.n_points if self.n_points else 0.0
+
+    def bucket(self) -> str:
+        """The coarse feature key the calibrated selection table is indexed by.
+
+        Components, ``|``-joined: nest shape (``perfect``/``imperfect``),
+        the Lemma 1 gate (``1cp``: exactly one coupled pair with
+        dependences), subscript coupling in the paper's §1 sense, the
+        uniformity verdict, space shape, clamped depth, and whether any
+        dependence exists at all.
+        """
+        uniform = {True: "uniform", False: "nonuniform", None: "mixed"}[self.uniform]
+        return "|".join(
+            [
+                "perfect" if self.perfect_nest else "imperfect",
+                "1cp" if self.single_coupled_pair else "mcp",
+                "coupled" if self.coupled_subscripts else "separable",
+                uniform,
+                "rect" if self.rectangular else "nonrect",
+                f"d{min(self.nest_depth, 3)}",
+                "dep" if self.n_dependences else "free",
+            ]
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        from dataclasses import asdict
+
+        info = asdict(self)
+        info["dependence_density"] = round(self.dependence_density, 6)
+        info["bucket"] = self.bucket()
+        return info
+
+    def describe(self) -> str:
+        """One compact line for ``Plan.explain()``."""
+        shape = "rect" if self.rectangular else "nonrect"
+        nest = "perfect" if self.perfect_nest else "imperfect"
+        uniform = {True: "uniform", False: "non-uniform", None: "mixed"}[self.uniform]
+        wave = ""
+        if self.wavefront_levels is not None:
+            approx = "~" if self.sampled else ""
+            wave = (
+                f", wavefronts {approx}{self.wavefront_levels}"
+                f"x{self.wavefront_width:.0f}"
+            )
+        return (
+            f"depth={self.nest_depth} statements={self.n_statements} ({nest}, {shape}), "
+            f"{self.n_points} points, {self.n_dependences} dependences "
+            f"({uniform}, {self.n_coupled_pairs} coupled pairs){wave}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# extraction
+# ---------------------------------------------------------------------------
+
+
+def _is_rectangular(program: LoopProgram) -> bool:
+    """True when every loop bound is a single expression free of loop indices.
+
+    Parameters are allowed (``DO I = 1, N`` is rectangular); an index in any
+    bound (``DO J = 1, I``) or a MAX/MIN multi-expression bound makes the
+    space non-rectangular.
+    """
+    loops = program.loops()
+    indices = {lp.index for lp in loops}
+    for lp in loops:
+        if len(lp.lower) != 1 or len(lp.upper) != 1:
+            return False
+        for expr in (*lp.lower, *lp.upper):
+            if any(v in indices for v in expr.variables):
+                return False
+    return True
+
+
+def _lex_le(points: np.ndarray, bound: np.ndarray) -> np.ndarray:
+    """Vectorised ``row <=lex bound`` over an ``(n, d)`` int64 array."""
+    n = points.shape[0]
+    result = np.zeros(n, dtype=bool)
+    undecided = np.ones(n, dtype=bool)
+    for k in range(points.shape[1]):
+        less = undecided & (points[:, k] < bound[k])
+        greater = undecided & (points[:, k] > bound[k])
+        result |= less
+        undecided &= ~(less | greater)
+    result |= undecided  # exactly equal to the bound
+    return result
+
+
+def _wavefront_estimate(
+    analysis: DependenceAnalysis, n_points: int, depth: int, sample_cap: int
+) -> Tuple[Optional[int], Optional[float], bool]:
+    """(levels, mean width, sampled?) of the dataflow wavefront partition.
+
+    Exact (one vectorised peel) up to ``sample_cap`` points; beyond that the
+    peel runs on the lexicographic prefix of ``sample_cap`` points with the
+    relation restricted to it, and the level count is extrapolated by the
+    per-dimension extent ratio ``(n/k)^(1/depth)`` (wavefront counts grow
+    with the linear extent of the space, not its volume).
+    """
+    from ..core.dataflow import dataflow_partition
+    from ..isl.relations import FiniteRelation
+
+    rel = analysis.iteration_dependences
+    if n_points == 0:
+        return 0, 0.0, False
+    if len(rel) == 0:
+        return 1, float(n_points), False
+    space = analysis.iteration_space_array
+    if n_points <= sample_cap:
+        levels = dataflow_partition(space, rel, engine="auto").num_steps
+        return levels, n_points / max(1, levels), False
+    prefix = space[:sample_cap]
+    bound = space[sample_cap - 1]
+    src, dst = rel.as_arrays()
+    mask = _lex_le(src, bound) & _lex_le(dst, bound)
+    sub = FiniteRelation.from_arrays(src[mask], dst[mask])
+    sampled_levels = dataflow_partition(prefix, sub, engine="auto").num_steps
+    scale = (n_points / sample_cap) ** (1.0 / max(1, depth))
+    levels = max(1, int(round(sampled_levels * scale)))
+    return levels, n_points / levels, True
+
+
+def _extract(
+    program: LoopProgram,
+    params: Mapping[str, int],
+    analysis: DependenceAnalysis,
+    sample_cap: int,
+) -> ProgramFeatures:
+    contexts = program.statement_contexts()
+    depth = max((ctx.depth for ctx in contexts), default=0)
+    perfect = program.is_perfect_nest()
+
+    if perfect:
+        n_points = int(analysis.iteration_space_array.shape[0])
+        rel = analysis.iteration_dependences
+        n_deps = len(rel)
+        uniform: Optional[bool] = analysis.is_uniform() if n_deps else True
+        levels, width, sampled = _wavefront_estimate(
+            analysis, n_points, depth, sample_cap
+        )
+    else:
+        n_points = sum(
+            int(analysis.statement_domain_array(ctx.statement.label).shape[0])
+            for ctx in contexts
+        )
+        n_deps = sum(len(d.relation) for d in analysis.pair_dependences)
+        uniform = None
+        levels = width = None
+        sampled = False
+
+    return ProgramFeatures(
+        program=program.name,
+        nest_depth=depth,
+        n_statements=len(contexts),
+        perfect_nest=perfect,
+        rectangular=_is_rectangular(program),
+        n_points=n_points,
+        n_reference_pairs=len(analysis.reference_pairs),
+        n_coupled_pairs=len(analysis.coupled_pairs),
+        coupled_subscripts=any(
+            p.has_coupled_subscript_dimensions() for p in analysis.reference_pairs
+        ),
+        single_coupled_pair=analysis.has_single_coupled_pair(),
+        n_dependences=n_deps,
+        uniform=uniform,
+        wavefront_levels=levels,
+        wavefront_width=width,
+        sampled=sampled,
+    )
+
+
+# ---------------------------------------------------------------------------
+# the fingerprint-keyed cache
+# ---------------------------------------------------------------------------
+
+_CACHE_MAXSIZE = 256
+_CACHE: "OrderedDict[Tuple[str, Tuple[Tuple[str, int], ...]], ProgramFeatures]" = (
+    OrderedDict()
+)
+_CACHE_HITS = 0
+_CACHE_MISSES = 0
+
+
+def clear_feature_cache() -> None:
+    global _CACHE_HITS, _CACHE_MISSES
+    _CACHE.clear()
+    _CACHE_HITS = _CACHE_MISSES = 0
+
+
+def feature_cache_stats() -> Dict[str, int]:
+    return {"size": len(_CACHE), "hits": _CACHE_HITS, "misses": _CACHE_MISSES}
+
+
+def program_features(
+    program: LoopProgram,
+    params: Optional[Mapping[str, int]] = None,
+    analysis: Optional[DependenceAnalysis] = None,
+    fingerprint: Optional[str] = None,
+    sample_cap: int = WAVEFRONT_SAMPLE_CAP,
+    cache: bool = True,
+) -> ProgramFeatures:
+    """Extract (or recall) the :class:`ProgramFeatures` of one plan request.
+
+    ``analysis`` should be the planning call's shared
+    :class:`~repro.dependence.analysis.DependenceAnalysis` so every view the
+    extraction touches stays warm for the winning strategy's builder; one is
+    created when omitted.  ``fingerprint`` lets a caller that already hashed
+    the program (``plan()`` always has) skip re-hashing; features are
+    memoised on ``(fingerprint, sorted params)`` so re-planning the same
+    nest never re-extracts.
+    """
+    global _CACHE_HITS, _CACHE_MISSES
+    params = dict(params or {})
+    key = None
+    if cache:
+        if fingerprint is None:
+            from ..core.strategy import program_fingerprint
+
+            fingerprint = program_fingerprint(program)
+        key = (fingerprint, tuple(sorted((str(k), int(v)) for k, v in params.items())))
+        hit = _CACHE.get(key)
+        if hit is not None:
+            _CACHE.move_to_end(key)
+            _CACHE_HITS += 1
+            return hit
+        _CACHE_MISSES += 1
+    if analysis is None:
+        analysis = DependenceAnalysis(program, params)
+    features = _extract(program, params, analysis, sample_cap)
+    if key is not None:
+        _CACHE[key] = features
+        while len(_CACHE) > _CACHE_MAXSIZE:
+            _CACHE.popitem(last=False)
+    return features

@@ -5,10 +5,23 @@
 * :mod:`repro.workloads.synthetic` — random coupled-subscript loop generator
   with ground-truth labels;
 * :mod:`repro.workloads.corpus` — the SPECfp95-like synthetic corpus used by
-  the statistics experiment (E12).
+  the statistics experiment (E12), plus the seeded selection corpus (program
+  families + LU/SOR kernels) that calibrates the strategy-selection table.
 """
 
-from .corpus import SPECFP95_LIKE, CorpusComposition, build_corpus
+from .corpus import (
+    CORPUS_SIZES,
+    DEFAULT_CORPUS_SEED,
+    SPECFP95_LIKE,
+    CorpusComposition,
+    CorpusEntry,
+    build_corpus,
+    corpus_families,
+    family_entries,
+    lu_kernel,
+    selection_corpus,
+    sor_kernel,
+)
 from .examples import (
     PAPER_EXAMPLES,
     cholesky_loop,
@@ -34,4 +47,12 @@ __all__ = [
     "CorpusComposition",
     "SPECFP95_LIKE",
     "build_corpus",
+    "CorpusEntry",
+    "corpus_families",
+    "family_entries",
+    "selection_corpus",
+    "lu_kernel",
+    "sor_kernel",
+    "DEFAULT_CORPUS_SEED",
+    "CORPUS_SIZES",
 ]

@@ -100,12 +100,27 @@ class TestFallbackChain:
         assert cache.stats() == {"size": 1, "hits": 1, "misses": 1}
 
     def test_skip_reasons_are_recorded(self):
-        p = plan(example3_loop(10), cache=False)
+        # The fixed selector probes the historical chain front-to-back, so the
+        # inapplicable Algorithm 1 branch is recorded with its reason.
+        p = plan(example3_loop(10), config=PlanConfig(selector="fixed"), cache=False)
         assert p.strategy == "dataflow"
         skipped = dict(p.skipped)
         assert "recurrence-chains" in skipped
         assert "coupled reference pair" in skipped["recurrence-chains"]
         assert "recurrence-chains" in p.explain()
+
+    def test_fixed_selector_is_bit_identical_to_old_dispatch(self):
+        """`selector="fixed"` pins the historical walk: same strategy, same
+        skip list, same schedule, and no feature extraction in the report."""
+        for _, factory, expected in WORKLOADS:
+            p = plan(factory(), config=PlanConfig(selector="fixed"), cache=False)
+            assert p.strategy == expected
+            old = recurrence_chain_partition(factory())
+            assert schedule_mismatches(p.schedule, old.schedule) == []
+            assert p.selection is not None
+            assert p.selection.selector == "fixed"
+            assert p.selection.scores == () and p.selection.features is None
+            assert p.selection.order == strategy_names()
 
     def test_force_dataflow_skips_chains(self):
         p = plan(
@@ -273,7 +288,7 @@ class TestPlanCacheMechanics:
 
 class TestPlanExplain:
     def test_explain_reports_skips_selection_and_timing(self):
-        p = plan(example3_loop(8), cache=False)
+        p = plan(example3_loop(8), config=PlanConfig(selector="fixed"), cache=False)
         lines = p.explain().splitlines()
         assert lines[0].startswith("plan for 'example3'")
         skips = [l for l in lines if l.strip().startswith("- skipped")]
