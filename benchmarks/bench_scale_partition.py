@@ -50,7 +50,10 @@ array-backed path, at two levels.
   sequences.
 
 Every sweep's rows are recorded in ``BENCH_scale.json`` at the repository
-root — the perf-trajectory file CI regenerates on each run.
+root — the perf-trajectory file.  Rows **accumulate across sessions**: each
+row carries the session ``run_id`` and machine fingerprint, a re-run within
+one session replaces its own rows, and rows from earlier sessions are kept
+so the trajectory is inspectable over time.
 """
 
 import json
@@ -68,7 +71,7 @@ from repro.core.partition import three_set_partition
 from repro.core.strategy import PlanCache, PlanConfig, plan
 from repro.dependence.analysis import DependenceAnalysis
 
-from conftest import emit, run_once, stamp_rows
+from conftest import RUN_ID, emit, run_once, stamp_rows
 
 #: (n1, n2) sweep: 10³, 10⁴ and 10⁵ iteration points.
 SIZES = [(40, 25), (125, 80), (500, 200)]
@@ -78,11 +81,13 @@ BENCH_JSON = Path(__file__).resolve().parents[1] / "BENCH_scale.json"
 
 
 def record_bench(section, rows):
-    """Merge one sweep's rows into the BENCH_scale.json perf-trajectory file.
+    """Append one sweep's rows to the BENCH_scale.json perf-trajectory file.
 
     Every row is stamped with the session ``run_id`` and the machine
-    fingerprint (cpu_count / platform / Python version) so rows recorded on
-    different hosts are distinguishable.
+    fingerprint (cpu_count / platform / Python version).  Rows from *other*
+    sessions are preserved — the file is a trajectory, not a snapshot — while
+    a re-run inside the same session replaces its own earlier rows, so a
+    single bench invocation never double-counts.
     """
     data = {}
     if BENCH_JSON.exists():
@@ -90,7 +95,11 @@ def record_bench(section, rows):
             data = json.loads(BENCH_JSON.read_text())
         except json.JSONDecodeError:
             data = {}
-    data[section] = stamp_rows(rows)
+    existing = data.get(section, [])
+    if not isinstance(existing, list):
+        existing = []
+    kept = [r for r in existing if r.get("run_id") != RUN_ID]
+    data[section] = kept + stamp_rows(rows)
     BENCH_JSON.write_text(json.dumps(data, indent=2) + "\n")
 
 

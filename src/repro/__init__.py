@@ -101,7 +101,7 @@ True
 The registered backends (``repro.runtime.backend_names()``):
 
 >>> repro.runtime.backend_names()
-('serial', 'threaded', 'process', 'simulated')
+('serial', 'threaded', 'process', 'simulated', 'compiled')
 
 Plans execute (``p.execute(threads=4)`` for the GIL-bound thread pool) and
 generate source (``p.codegen(target="python")``); the historical entry

@@ -207,6 +207,48 @@ def _wavefront_estimate(
     return levels, n_points / levels, True
 
 
+def _closed_form(
+    program: LoopProgram,
+    params: Mapping[str, int],
+    analysis: DependenceAnalysis,
+) -> Optional[Tuple[int, int, bool, Optional[int], Optional[float]]]:
+    """O(1)-in-N feature facts for the symbolic-eligible case, or ``None``.
+
+    When the nest is rectangular with a single uniform integral dependence
+    distance ``u``, every fact the enumerating path derives from
+    ``iteration_space_array`` / ``iteration_dependences`` is a product of
+    the box extents: ``|Φ| = Π e_k``, ``|Rd| = Π max(0, e_k − |u_k|)``
+    (iteration ``i`` depends on ``i − u`` whenever both ends stay in the
+    box), and the dataflow wavefront is the longest ``u``-line in the box —
+    ``1 + min_{u_k ≠ 0} (e_k − 1) // |u_k|`` levels, exactly what a full
+    peel would count.  Returns ``(n_points, n_deps, single_coupled_pair,
+    levels, width)``.
+    """
+    from ..core.symbolic import box_count, rectangular_box, uniform_shift_pairs
+
+    box = rectangular_box(program, params)
+    if box is None:
+        return None
+    info = uniform_shift_pairs(program, analysis)
+    if info is None:
+        return None
+    shift, n_active_pairs = info
+    n_points = box_count(box)
+    extents = [hi - lo + 1 for lo, hi in box]
+    n_deps = 1 if n_points else 0
+    for e, u in zip(extents, shift):
+        n_deps *= max(0, e - abs(u))
+    if n_points == 0:
+        levels: Optional[int] = 0
+        width: Optional[float] = 0.0
+    elif n_deps == 0:
+        levels, width = 1, float(n_points)
+    else:
+        levels = 1 + min((e - 1) // abs(u) for e, u in zip(extents, shift) if u)
+        width = n_points / levels
+    return n_points, n_deps, n_deps > 0 and n_active_pairs == 1, levels, width
+
+
 def _extract(
     program: LoopProgram,
     params: Mapping[str, int],
@@ -216,12 +258,40 @@ def _extract(
     contexts = program.statement_contexts()
     depth = max((ctx.depth for ctx in contexts), default=0)
     perfect = program.is_perfect_nest()
+    closed = _closed_form(program, params, analysis) if perfect else None
+
+    if closed is not None:
+        # Symbolic-eligible nest: every count is a closed-form product —
+        # no iteration space or dependence relation is ever enumerated.
+        n_points, n_deps, scp, levels, width = closed
+        uniform: Optional[bool] = True
+        sampled = False
+        return ProgramFeatures(
+            program=program.name,
+            nest_depth=depth,
+            n_statements=len(contexts),
+            perfect_nest=perfect,
+            rectangular=_is_rectangular(program),
+            n_points=n_points,
+            n_reference_pairs=len(analysis.reference_pairs),
+            n_coupled_pairs=len(analysis.coupled_pairs),
+            coupled_subscripts=any(
+                p.has_coupled_subscript_dimensions()
+                for p in analysis.reference_pairs
+            ),
+            single_coupled_pair=scp,
+            n_dependences=n_deps,
+            uniform=uniform,
+            wavefront_levels=levels,
+            wavefront_width=width,
+            sampled=sampled,
+        )
 
     if perfect:
         n_points = int(analysis.iteration_space_array.shape[0])
         rel = analysis.iteration_dependences
         n_deps = len(rel)
-        uniform: Optional[bool] = analysis.is_uniform() if n_deps else True
+        uniform = analysis.is_uniform() if n_deps else True
         levels, width, sampled = _wavefront_estimate(
             analysis, n_points, depth, sample_cap
         )

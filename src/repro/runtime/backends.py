@@ -27,7 +27,13 @@ counters):
     speedups on multi-core hosts;
 ``simulated``
     the deterministic SMP cost model (no arrays are touched;
-    ``RunResult.store`` is ``None`` and the speedup lands in ``meta``).
+    ``RunResult.store`` is ``None`` and the speedup lands in ``meta``);
+``compiled``
+    the generated-NumPy-kernel runner for symbolic plans
+    (:mod:`repro.codegen.python_source`): the whole schedule executes as
+    vectorized strided-slice assignments, compiled once and cached on the
+    plan fingerprint — schedules without a kernel fall back to ``serial``
+    with the reason recorded in ``RunResult.meta``.
 
 The historical entry points live on as thin shims over the registry, and
 :meth:`Plan.execute(backend=...) <repro.core.strategy.Plan.execute>` reaches
@@ -45,6 +51,7 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 from ..core.schedule import ArrayPhase, Schedule, UnifiedArrayPhase
+from ..core.symbolic import CosetChainPhase, SymbolicDoallPhase
 from ..ir.program import LoopProgram
 from .executor import ArrayStore, _execute_instance, make_store
 from .simulator import CostModel, simulate_schedule
@@ -334,6 +341,32 @@ def _serial_runner(
                     ctx.index_names, store,
                 )
             executed = len(entries)
+        elif isinstance(phase, SymbolicDoallPhase):
+            # Symbolic box phases: enumerate the boxes directly instead of
+            # building one ExecutionUnit per point.
+            ctx = contexts[phase.label]
+            rows = phase.points_array().tolist()
+            if rng is not None:
+                rng.shuffle(rows)
+            stmt, index_names = ctx.statement, ctx.index_names
+            for row in rows:
+                _execute_instance(stmt, row, index_names, store)
+            executed = len(rows)
+        elif isinstance(phase, CosetChainPhase):
+            ctx = contexts[phase.label]
+            stmt, index_names = ctx.statement, ctx.index_names
+            starts, lens = phase.chains()
+            chains = list(zip(starts.tolist(), lens.tolist()))
+            if rng is not None:
+                rng.shuffle(chains)
+            step = phase.step
+            executed = 0
+            for start, length in chains:
+                point = list(start)
+                for _ in range(length):
+                    _execute_instance(stmt, point, index_names, store)
+                    point = [c + s for c, s in zip(point, step)]
+                executed += length
         else:
             units = list(phase.units)
             if rng is not None:
@@ -457,6 +490,49 @@ def _simulated_runner(
     )
 
 
+def _compiled_runner(
+    program: LoopProgram,
+    schedule: Schedule,
+    params: Dict[str, int],
+    store: Optional[ArrayStore],
+    config: ExecConfig,
+    rng: Optional[random.Random],
+) -> RunResult:
+    """Run a symbolic plan's generated NumPy kernel (compiled once, cached on
+    the plan fingerprint).  Schedules without a kernel — any non-symbolic
+    plan, or a statement whose semantics cannot be vectorized — fall back to
+    the ``serial`` runner with the reason recorded in ``meta``."""
+    from ..codegen.python_source import ensure_symbolic_kernel, symbolic_kernel_reason
+
+    reason = symbolic_kernel_reason(program, schedule)
+    if reason is None and not schedule.meta.get("kernel_key"):
+        reason = "schedule has no kernel_key (not built by the symbolic strategy)"
+    if reason is not None:
+        res = _serial_runner(program, schedule, params, store, config, rng)
+        return replace(
+            res,
+            backend="compiled",
+            meta={**res.meta, "fallback": "serial", "reason": reason},
+        )
+    kernel, cache_status = ensure_symbolic_kernel(program, schedule)
+    store = store if store is not None else make_store(program)
+    t_run = time.perf_counter()
+    rows = kernel(store)
+    elapsed = time.perf_counter() - t_run
+    stats = tuple(
+        PhaseStats(name, executed, len(phase), 1, dt)
+        for (name, executed, dt), phase in zip(rows, schedule.phases)
+    )
+    return RunResult(
+        store=store,
+        backend="compiled",
+        workers=1,
+        phase_stats=stats,
+        elapsed_s=elapsed,
+        meta={"kernel": True, "kernel_cache": cache_status},
+    )
+
+
 register_backend(ExecutionBackend(
     name="serial",
     description="single process, phases in order, shuffled intra-phase order",
@@ -477,4 +553,9 @@ register_backend(ExecutionBackend(
     name="simulated",
     description="deterministic SMP cost model (no arrays touched)",
     runner=_simulated_runner,
+))
+register_backend(ExecutionBackend(
+    name="compiled",
+    description="generated NumPy kernel for symbolic plans (serial fallback)",
+    runner=_compiled_runner,
 ))

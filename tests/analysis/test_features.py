@@ -34,6 +34,25 @@ def fresh_cache():
     clear_feature_cache()
 
 
+def _two_shift_uniform_loop(n1, n2):
+    """Like ``large_uniform_loop`` but with a second read ``x(I1, I2+1)``,
+    giving two distinct uniform distances (1,1) and (1,0).  The closed-form
+    O(1) feature path requires exactly one distinct distance, so this program
+    exercises the enumerating wavefront estimator and its sampling cap."""
+    from repro.ir.builder import aref, assign, loop, program
+
+    body = assign(
+        "s",
+        aref("x", "I1+1", "I2+1"),
+        [aref("x", "I1", "I2"), aref("x", "I1", "I2+1")],
+    )
+    return program(
+        "two-shift-uniform",
+        loop("I1", 1, n1, loop("I2", 1, n2, body)),
+        array_shapes={"x": (n1 + 2, n2 + 2)},
+    )
+
+
 class TestExtraction:
     def test_figure1_features(self):
         f = program_features(figure1_loop(10, 10))
@@ -97,14 +116,18 @@ class TestExtraction:
 
 
 class TestWavefrontSampling:
+    """Programs with *two* distinct uniform distances miss the closed-form
+    gate (which requires exactly one), so they take the enumerating wavefront
+    estimator and its sampling cap."""
+
     def test_large_space_is_sampled(self):
         # 60k points > cap: the estimate comes from the lexicographic prefix.
-        f = program_features(large_uniform_loop(300, 200), cache=False)
+        f = program_features(_two_shift_uniform_loop(300, 200), cache=False)
         assert f.sampled
         assert f.wavefront_levels is not None
-        # the true dataflow depth is min(300, 200) = 200; the extrapolated
-        # estimate must land within a factor of two
-        assert 100 <= f.wavefront_levels <= 400
+        # the true dataflow depth (chains stepping by (1,0)) is 300; the
+        # extrapolated estimate must land within a factor of two
+        assert 150 <= f.wavefront_levels <= 600
 
     def test_small_space_is_exact(self):
         f = program_features(large_uniform_loop(40, 40), cache=False)
@@ -112,9 +135,36 @@ class TestWavefrontSampling:
 
     def test_custom_sample_cap(self):
         f = program_features(
-            large_uniform_loop(40, 40), sample_cap=100, cache=False
+            _two_shift_uniform_loop(40, 40), sample_cap=100, cache=False
         )
         assert f.sampled
+
+
+class TestClosedFormFeatures:
+    """Symbolic-eligible nests (rectangular, exactly one uniform distance)
+    get O(1)-in-N features: exact closed-form counts, never sampled, no
+    point or pair enumeration."""
+
+    def test_counts_match_enumeration_exactly(self):
+        f = program_features(large_uniform_loop(12, 12), cache=False)
+        assert f.n_points == 144
+        assert f.n_dependences == 11 * 11
+        assert f.wavefront_levels == 12 and not f.sampled
+        assert f.uniform is True and f.single_coupled_pair
+
+    def test_huge_space_is_closed_form(self):
+        # 10⁸ points: enumeration is impossible, the closed form is exact.
+        f = program_features(large_uniform_loop(10_000, 10_000), cache=False)
+        assert f.n_points == 10**8
+        assert f.n_dependences == 9_999**2
+        assert f.wavefront_levels == 10_000 and not f.sampled
+        assert f.wavefront_width == pytest.approx(10**8 / 10_000)
+
+    def test_two_distinct_shifts_fall_back_to_enumeration(self):
+        f = program_features(_two_shift_uniform_loop(12, 9), cache=False)
+        assert f.uniform is True and not f.sampled
+        # chains step by (1,0): exact depth is n1 = 12 levels
+        assert f.wavefront_levels == 12
 
 
 class TestFeatureCache:

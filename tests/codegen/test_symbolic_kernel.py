@@ -1,0 +1,211 @@
+"""Differential tests for the symbolic-plan compiled kernel.
+
+The ``symbolic`` strategy plans without materialising the iteration space and
+the ``compiled`` backend executes through a generated NumPy module, so the
+correctness story cannot lean on the enumerated reference sets the other
+schemes share.  Instead the kernel is pinned **bit-identical to
+``execute_sequential``** over a Hypothesis stream of symbolic-eligible
+programs (every dimensionality, distance, offset and semantics shape the
+generator covers), and the source → ``compile_function`` → run round trip is
+exercised on every generated kernel.
+
+The fallback contract is pinned too: a schedule the kernel generator cannot
+serve (wrong scheme, custom semantics, missing cache key) executes through
+the serial interpreter with the reason recorded in ``RunResult.meta`` — the
+``compiled`` backend never fails where ``serial`` would have succeeded.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.codegen.python_source import (
+    clear_kernel_cache,
+    compile_function,
+    ensure_symbolic_kernel,
+    generate_symbolic_kernel_source,
+    kernel_cache_stats,
+    symbolic_kernel_reason,
+)
+from repro.core.strategy import PlanConfig, plan
+from repro.ir.builder import aref, assign, loop, program
+from repro.ir.semantics import compute_heavy_semantics, sum_semantics
+from repro.runtime import execute, execute_sequential, make_store
+from repro.workloads.examples import figure1_loop
+from repro.workloads.synthetic import large_uniform_loop
+
+SYMBOLIC = PlanConfig(strategies=("symbolic",))
+
+_INDICES = ("I1", "I2", "I3")
+
+#: The three vectorizable statement semantics (None = the order-sensitive
+#: default); anything else must fall back to the serial interpreter.
+_SEMANTICS = (None, sum_semantics, compute_heavy_semantics)
+
+
+def _xor_semantics(arrays, env, read_values):
+    """A custom (non-vectorizable) semantics: the kernel must decline it."""
+    acc = 1
+    for v in read_values:
+        acc ^= int(v)
+    return acc
+
+
+@st.composite
+def symbolic_programs(draw):
+    """Random symbolic-eligible nests: a single statement over rectangular
+    unit-stride bounds, rank-d identity-coefficient subscripts, and exactly
+    one distinct nonzero uniform distance (drawn lex-positive, so it is a
+    flow dependence).  An optional zero-distance read (same subscripts as the
+    write) exercises the self-pair skip."""
+    dim = draw(st.integers(1, 3))
+    names = _INDICES[:dim]
+    bounds = [draw(st.integers(3, 6)) for _ in range(dim)]
+
+    # Lex-positive distance u with |u_k| <= 2: zeros before the first
+    # nonzero component, which is drawn positive.
+    first = draw(st.integers(0, dim - 1))
+    u = [0] * dim
+    u[first] = draw(st.integers(1, 2))
+    for k in range(first + 1, dim):
+        u[k] = draw(st.integers(-2, 2))
+
+    # Write offsets in [2, 4] keep every subscript non-negative (|u_k| <= 2).
+    offs = [draw(st.integers(2, 4)) for _ in range(dim)]
+
+    def subscript(base, delta):
+        return "+".join(filter(None, [base, str(delta)])) if delta else base
+
+    write = aref("x", *(subscript(n, a) for n, a in zip(names, offs)))
+    reads = [aref("x", *(subscript(n, a - d) for n, a, d in zip(names, offs, u)))]
+    if draw(st.booleans()):  # zero-distance self read: skipped by the gate
+        reads.append(aref("x", *(subscript(n, a) for n, a in zip(names, offs))))
+
+    body = assign("s", write, reads, semantics=draw(st.sampled_from(_SEMANTICS)))
+    nest = body
+    for k in reversed(range(dim)):
+        nest = loop(names[k], 1, bounds[k], nest)
+    # subscripts reach bound + off + max(0, -u_k) <= bound + 4 + 2
+    shape = tuple(b + 7 for b in bounds)
+    return program("hypothesis-symbolic", nest, array_shapes={"x": shape})
+
+
+class TestDifferential:
+    @given(prog=symbolic_programs())
+    def test_compiled_bit_identical_to_sequential(self, prog):
+        p = plan(prog, config=SYMBOLIC, cache=False)
+        assert p.strategy == "symbolic"
+        ref = execute_sequential(prog, {})
+        result = execute(prog, p.schedule, {}, backend="compiled")
+        assert result.meta.get("kernel") is True, result.meta  # no fallback
+        assert set(ref) == set(result.store)
+        assert all(np.array_equal(ref[k], result.store[k]) for k in ref)
+        assert result.instances_executed == p.schedule.total_work
+        assert result.phases_executed == p.schedule.num_phases
+
+    @given(prog=symbolic_programs())
+    def test_kernel_source_round_trips_through_compile_function(self, prog):
+        """source -> compile_function -> run reproduces the sequential store
+        on every generated kernel shape (phase mix, dimensionality,
+        semantics)."""
+        p = plan(prog, config=SYMBOLIC, cache=False)
+        source = generate_symbolic_kernel_source(prog, p.schedule)
+        fn = compile_function(source, "run_kernel")
+        store = make_store(prog)
+        stats = fn(store)
+        ref = execute_sequential(prog, {})
+        assert all(np.array_equal(ref[k], store[k]) for k in ref)
+        # one stats row per phase: (name, instances, elapsed)
+        assert [row[0] for row in stats] == [ph.name for ph in p.schedule.phases]
+        assert [row[1] for row in stats] == [ph.work for ph in p.schedule.phases]
+        assert all(row[2] >= 0.0 for row in stats)
+
+
+class TestFallback:
+    def test_non_symbolic_schedule_falls_back_to_serial(self):
+        prog = figure1_loop(8, 8)
+        p = plan(prog, cache=False)
+        assert p.strategy != "symbolic"
+        result = execute(prog, p.schedule, {}, backend="compiled")
+        assert result.backend == "compiled"
+        assert result.meta["fallback"] == "serial"
+        assert "not a symbolic plan" in result.meta["reason"]
+        ref = execute_sequential(prog, {})
+        assert all(np.array_equal(ref[k], result.store[k]) for k in ref)
+
+    def test_custom_semantics_fall_back_to_serial(self):
+        """Eligibility is syntactic, so the symbolic *plan* succeeds — but the
+        kernel generator declines the un-vectorizable semantics and the
+        backend runs the schedule through the interpreter instead."""
+        body = assign(
+            "s", aref("x", "I1+1", "I2+1"), [aref("x", "I1", "I2")],
+            semantics=_xor_semantics,
+        )
+        prog = program(
+            "custom-sem",
+            loop("I1", 1, 6, loop("I2", 1, 5, body)),
+            array_shapes={"x": (8, 7)},
+        )
+        p = plan(prog, config=SYMBOLIC, cache=False)
+        assert p.strategy == "symbolic"
+        result = execute(prog, p.schedule, {}, backend="compiled")
+        assert result.meta["fallback"] == "serial"
+        assert "semantics" in result.meta["reason"]
+        ref = execute_sequential(prog, {})
+        assert all(np.array_equal(ref[k], result.store[k]) for k in ref)
+
+    def test_kernel_reason_names_the_scheme(self):
+        prog = figure1_loop(6, 6)
+        p = plan(prog, cache=False)
+        reason = symbolic_kernel_reason(prog, p.schedule)
+        assert reason is not None and p.schedule.meta.get("scheme", "") in reason
+
+    def test_missing_kernel_key_raises(self):
+        prog = large_uniform_loop(6, 5)
+        p = plan(prog, config=SYMBOLIC, cache=False)
+        stripped = dict(p.schedule.meta)
+        stripped.pop("kernel_key", None)
+        object.__setattr__(p.schedule, "meta", stripped)
+        try:
+            with pytest.raises(ValueError, match="kernel_key"):
+                ensure_symbolic_kernel(prog, p.schedule)
+        finally:
+            object.__setattr__(
+                p.schedule, "meta", {**stripped, "kernel_key": "restored"}
+            )
+
+
+class TestKernelCache:
+    @pytest.fixture(autouse=True)
+    def fresh_cache(self):
+        clear_kernel_cache()
+        yield
+        clear_kernel_cache()
+
+    def test_miss_then_hit_on_same_plan(self):
+        prog = large_uniform_loop(6, 5)
+        p = plan(prog, config=SYMBOLIC, cache=False)
+        fn1, status1 = ensure_symbolic_kernel(prog, p.schedule)
+        fn2, status2 = ensure_symbolic_kernel(prog, p.schedule)
+        assert (status1, status2) == ("miss", "hit")
+        assert fn1 is fn2
+        assert kernel_cache_stats() == {"hits": 1, "misses": 1, "size": 1}
+
+    def test_distinct_programs_get_distinct_kernels(self):
+        a = large_uniform_loop(6, 5)
+        b = large_uniform_loop(7, 4)
+        pa = plan(a, config=SYMBOLIC, cache=False)
+        pb = plan(b, config=SYMBOLIC, cache=False)
+        fa, _ = ensure_symbolic_kernel(a, pa.schedule)
+        fb, _ = ensure_symbolic_kernel(b, pb.schedule)
+        assert fa is not fb
+        assert kernel_cache_stats()["size"] == 2
+
+    def test_backend_reports_cache_status(self):
+        prog = large_uniform_loop(6, 5)
+        p = plan(prog, config=SYMBOLIC, cache=False)
+        first = execute(prog, p.schedule, {}, backend="compiled")
+        again = execute(prog, p.schedule, {}, backend="compiled")
+        assert first.meta["kernel_cache"] == "miss"
+        assert again.meta["kernel_cache"] == "hit"

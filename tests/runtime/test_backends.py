@@ -59,7 +59,9 @@ def _stores_equal(a, b):
 
 class TestRegistry:
     def test_builtin_backends_registered(self):
-        assert backend_names() == ("serial", "threaded", "process", "simulated")
+        assert backend_names() == (
+            "serial", "threaded", "process", "simulated", "compiled"
+        )
 
     def test_get_backend_unknown_name(self):
         with pytest.raises(KeyError, match="unknown backend"):
