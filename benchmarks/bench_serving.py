@@ -1,0 +1,106 @@
+"""E-serving — warm-vs-cold request latency through the plan server.
+
+Not a paper artifact: this benchmark guards the serving layer's amortisation
+contract.  A cold one-shot request pays ``plan()`` (dependence analysis,
+strategy selection, schedule construction) plus — on the ``process`` backend
+— a full worker fork inside ``execute()``.  A warm request against a
+memory-resident :class:`~repro.serving.PlanServer` pays neither: the plan
+comes out of the shared :class:`PlanCache` and the execution attaches a
+fresh shared-memory descriptor table to the already-running pool.
+
+Gate: for repeated (program, params) requests on the process backend, the
+warm-path latency must be **≥ 10×** faster than the cold one-shot path,
+with served results bit-identical to ``execute_sequential``.  The workload
+is the corpus entry with the largest planning cost (a deep rectangular
+nest): planning dominates execution there, which is exactly the request
+profile a plan-serving daemon exists for.
+
+Rows are appended to ``BENCH_scale.json`` via the run_id-keyed trajectory
+recorder shared with ``bench_scale_partition.py``.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.strategy import plan
+from repro.runtime import execute, execute_sequential
+from repro.runtime.backends import ExecConfig
+from repro.runtime.process import process_unavailable_reason
+from repro.serving import PlanServer
+from repro.workloads.corpus import selection_corpus
+
+from bench_scale_partition import record_bench
+
+pytestmark = pytest.mark.skipif(
+    process_unavailable_reason() is not None,
+    reason=f"process backend unavailable: {process_unavailable_reason()}",
+)
+
+#: CI guard: the smoke pool never uses more than 2 workers.
+WORKERS = 2
+COLD_RUNS = 3
+WARM_RUNS = 5
+
+
+def _planning_heaviest_entry():
+    """The corpus entry whose plan cost dominates — measured, not assumed."""
+    best, best_t = None, 0.0
+    for entry in selection_corpus(size="small"):
+        t0 = time.perf_counter()
+        plan(entry.program, params=entry.params, cache=False)
+        t_plan = time.perf_counter() - t0
+        if t_plan > best_t:
+            best, best_t = entry, t_plan
+    return best
+
+
+def test_warm_requests_amortise_cold_planning(report):
+    entry = _planning_heaviest_entry()
+    prog, params = entry.program, dict(entry.params)
+    cfg = ExecConfig(backend="process", workers=WORKERS)
+    ref = execute_sequential(prog, params)
+
+    # -- cold: one-shot plan() + execute(), fresh pool forked every time ----
+    t_cold = float("inf")
+    for _ in range(COLD_RUNS):
+        t0 = time.perf_counter()
+        p = plan(prog, params=params, cache=False)
+        cold = execute(prog, p.schedule, params, config=cfg)
+        t_cold = min(t_cold, time.perf_counter() - t0)
+    assert all(np.array_equal(ref[k], cold.store[k]) for k in ref)
+
+    # -- warm: repeated requests against one memory-resident server ---------
+    with PlanServer(default_exec=cfg) as srv:
+        first = srv.request(prog, params=params, timeout=120)  # pays the warm-up
+        t_warm = float("inf")
+        for _ in range(WARM_RUNS):
+            t0 = time.perf_counter()
+            resp = srv.request(prog, params=params, timeout=120)
+            t_warm = min(t_warm, time.perf_counter() - t0)
+            assert resp.plan_cache_hit and resp.pool_reused
+            assert resp.result.meta.get("pool") == "injected"
+            assert all(np.array_equal(ref[k], resp.result.store[k]) for k in ref)
+    assert not first.plan_cache_hit  # the warm-up really was the cold miss
+
+    speedup = t_cold / t_warm
+    rows = [
+        {
+            "workload": entry.name if hasattr(entry, "name") else entry.family,
+            "strategy": p.strategy,
+            "backend": "process",
+            "workers": WORKERS,
+            "t_cold_s": round(t_cold, 4),
+            "t_warm_s": round(t_warm, 4),
+            "speedup": round(speedup, 1),
+        }
+    ]
+    report("Warm server request vs cold one-shot plan()+execute()", rows)
+    record_bench("serving", rows)
+
+    assert speedup >= 10.0, (
+        f"warm serving path only {speedup:.1f}x the cold one-shot path "
+        f"(cold {t_cold * 1e3:.1f} ms, warm {t_warm * 1e3:.1f} ms) — "
+        f"the serving contract requires >= 10x on repeat-plan requests"
+    )

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Example: a client of the memory-resident plan server.
+
+Starts one :class:`~repro.serving.PlanServer` with a persistent process
+pool, fires repeated requests for the same loop nests from several client
+threads, and prints how the warm paths amortise: the first request of each
+program pays planning and the worker fork, every repeat rides the plan
+cache and the already-running pool.
+
+The script doubles as the CI serving smoke check: it validates every served
+result against the sequential reference, snapshots ``/dev/shm`` before and
+after, and exits non-zero on any mismatch or leaked shared-memory segment.
+"""
+
+import argparse
+import glob
+import sys
+import threading
+
+import numpy as np
+
+from repro.runtime import execute_sequential
+from repro.runtime.backends import ExecConfig
+from repro.runtime.process import process_unavailable_reason
+from repro.serving import PlanServer
+from repro.workloads.examples import example3_loop, figure1_loop
+
+
+def _dev_shm():
+    return set(glob.glob("/dev/shm/psm_*"))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=2,
+                        help="process-pool workers (default 2)")
+    parser.add_argument("--requests", type=int, default=4,
+                        help="requests per client thread (default 4)")
+    parser.add_argument("--threads", type=int, default=2,
+                        help="client threads (default 2)")
+    args = parser.parse_args()
+
+    backend = "process"
+    reason = process_unavailable_reason()
+    if reason is not None:
+        print(f"process backend unavailable ({reason}); using serial")
+        backend = "serial"
+
+    programs = [figure1_loop(12, 12), example3_loop(10)]
+    references = [execute_sequential(p, {}) for p in programs]
+    shm_before = _dev_shm()
+    failures = []
+
+    cfg = ExecConfig(backend=backend, workers=args.workers)
+    with PlanServer(default_exec=cfg) as server:
+
+        def client(worker_id: int) -> None:
+            for i in range(args.requests):
+                which = (worker_id + i) % len(programs)
+                response = server.request(programs[which], timeout=120)
+                ref = references[which]
+                for name in ref:
+                    if not np.array_equal(ref[name], response.result.store[name]):
+                        failures.append(
+                            f"client {worker_id} request {i}: {name!r} diverged"
+                        )
+                print(
+                    f"client {worker_id} req {i}: {programs[which].name:<10} "
+                    f"strategy={response.strategy:<22} "
+                    f"cache_hit={str(response.plan_cache_hit):<5} "
+                    f"pool_reused={str(response.pool_reused):<5} "
+                    f"batch={response.batch_size} "
+                    f"total={response.timings['total_s'] * 1e3:7.2f} ms"
+                )
+
+        threads = [
+            threading.Thread(target=client, args=(i,))
+            for i in range(args.threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stats = server.stats()
+
+    print(f"\nserver stats: {stats}")
+
+    shm_after = _dev_shm()
+    leaked = shm_after - shm_before
+    if leaked:
+        failures.append(f"leaked shared-memory segments: {sorted(leaked)}")
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    print("all results validated; no shared-memory segments leaked")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

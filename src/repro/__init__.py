@@ -25,6 +25,8 @@ Sub-packages
 ``repro.baselines``  PDM, PL, unique sets, DOACROSS, tiling, inner-DOALL
 ``repro.workloads``  the paper's example loops and synthetic corpora
 ``repro.analysis``   program features, statistics, experiment harness, reporting
+``repro.serving``    the memory-resident plan server (warm caches, persistent
+                  worker pools, admission batching)
 ================  ============================================================
 
 Quick start
@@ -103,6 +105,21 @@ The registered backends (``repro.runtime.backend_names()``):
 >>> repro.runtime.backend_names()
 ('serial', 'threaded', 'process', 'simulated', 'compiled')
 
+For many requests, don't loop over one-shot calls — stand up the
+memory-resident :class:`~repro.serving.PlanServer`.  It shares one
+thread-safe plan cache across all client threads and, on the ``process``
+backend, keeps the forked worker pool alive between requests (each request
+re-ships only a tiny shared-memory descriptor table).  Repeat requests
+report the warm paths they rode:
+
+>>> with repro.serving.PlanServer() as server:
+...     cold = server.request(prog)
+...     warm = server.request(prog)
+>>> (cold.plan_cache_hit, warm.plan_cache_hit)
+(False, True)
+>>> all((warm.result.store[a] == serial.store[a]).all() for a in warm.result.store)
+True
+
 Plans execute (``p.execute(threads=4)`` for the GIL-bound thread pool) and
 generate source (``p.codegen(target="python")``); the historical entry
 points — ``repro.core.recurrence_chain_partition``, the per-scheme
@@ -111,7 +128,18 @@ points — ``repro.core.recurrence_chain_partition``, the per-scheme
 same machinery.
 """
 
-from . import analysis, baselines, codegen, core, dependence, ir, isl, runtime, workloads
+from . import (
+    analysis,
+    baselines,
+    codegen,
+    core,
+    dependence,
+    ir,
+    isl,
+    runtime,
+    serving,
+    workloads,
+)
 from .core.strategy import (
     DEFAULT_SELECTOR,
     PartitionStrategy,
@@ -145,6 +173,7 @@ __all__ = [
     "ir",
     "isl",
     "runtime",
+    "serving",
     "workloads",
     "plan",
     "Plan",

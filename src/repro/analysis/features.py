@@ -30,6 +30,7 @@ Design constraints:
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Mapping, Optional, Tuple
@@ -334,18 +335,24 @@ _CACHE_MAXSIZE = 256
 _CACHE: "OrderedDict[Tuple[str, Tuple[Tuple[str, int], ...]], ProgramFeatures]" = (
     OrderedDict()
 )
+#: Guards ``_CACHE`` and its counters — feature extraction runs on every
+#: planning thread of a long-lived server, so the LRU must not be mutated
+#: concurrently (an OrderedDict can corrupt under racing move_to_end/popitem).
+_CACHE_LOCK = threading.Lock()
 _CACHE_HITS = 0
 _CACHE_MISSES = 0
 
 
 def clear_feature_cache() -> None:
     global _CACHE_HITS, _CACHE_MISSES
-    _CACHE.clear()
-    _CACHE_HITS = _CACHE_MISSES = 0
+    with _CACHE_LOCK:
+        _CACHE.clear()
+        _CACHE_HITS = _CACHE_MISSES = 0
 
 
 def feature_cache_stats() -> Dict[str, int]:
-    return {"size": len(_CACHE), "hits": _CACHE_HITS, "misses": _CACHE_MISSES}
+    with _CACHE_LOCK:
+        return {"size": len(_CACHE), "hits": _CACHE_HITS, "misses": _CACHE_MISSES}
 
 
 def program_features(
@@ -375,17 +382,19 @@ def program_features(
 
             fingerprint = program_fingerprint(program)
         key = (fingerprint, tuple(sorted((str(k), int(v)) for k, v in params.items())))
-        hit = _CACHE.get(key)
-        if hit is not None:
-            _CACHE.move_to_end(key)
-            _CACHE_HITS += 1
-            return hit
-        _CACHE_MISSES += 1
+        with _CACHE_LOCK:
+            hit = _CACHE.get(key)
+            if hit is not None:
+                _CACHE.move_to_end(key)
+                _CACHE_HITS += 1
+                return hit
+            _CACHE_MISSES += 1
     if analysis is None:
         analysis = DependenceAnalysis(program, params)
     features = _extract(program, params, analysis, sample_cap)
     if key is not None:
-        _CACHE[key] = features
-        while len(_CACHE) > _CACHE_MAXSIZE:
-            _CACHE.popitem(last=False)
+        with _CACHE_LOCK:
+            _CACHE[key] = features
+            while len(_CACHE) > _CACHE_MAXSIZE:
+                _CACHE.popitem(last=False)
     return features

@@ -28,6 +28,8 @@ inspected — the Python analogue of the paper's generated Fortran.
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from fractions import Fraction
 from textwrap import indent
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
@@ -435,8 +437,13 @@ def generate_symbolic_kernel_source(
 
 #: Compiled kernels keyed on ``schedule.meta['kernel_key']`` — the plan
 #: fingerprint plus the bound parameters, i.e. one kernel per distinct
-#: (program, params) plan, shared across repeated executions.
-_KERNEL_CACHE: Dict[str, Callable] = {}
+#: (program, params) plan, shared across repeated executions.  LRU-bounded
+#: (mirroring ``PlanCache``) and lock-guarded: a long-lived server compiles
+#: kernels from many threads, and an unbounded dict of generated functions
+#: is a slow memory leak over an open-ended request stream.
+_KERNEL_CACHE_MAXSIZE = 128
+_KERNEL_CACHE: "OrderedDict[str, Callable]" = OrderedDict()
+_KERNEL_CACHE_LOCK = threading.Lock()
 _KERNEL_CACHE_STATS = {"hits": 0, "misses": 0}
 
 
@@ -457,22 +464,30 @@ def ensure_symbolic_kernel(
             "cannot generate a symbolic kernel: schedule has no kernel_key "
             "(not built by the symbolic strategy)"
         )
-    fn = _KERNEL_CACHE.get(key)
-    if fn is not None:
-        _KERNEL_CACHE_STATS["hits"] += 1
-        return fn, "hit"
+    with _KERNEL_CACHE_LOCK:
+        fn = _KERNEL_CACHE.get(key)
+        if fn is not None:
+            _KERNEL_CACHE.move_to_end(key)
+            _KERNEL_CACHE_STATS["hits"] += 1
+            return fn, "hit"
     source = generate_symbolic_kernel_source(program, schedule, name=name)
     fn = compile_function(source, name)
-    _KERNEL_CACHE[key] = fn
-    _KERNEL_CACHE_STATS["misses"] += 1
+    with _KERNEL_CACHE_LOCK:
+        _KERNEL_CACHE[key] = fn
+        _KERNEL_CACHE.move_to_end(key)
+        while len(_KERNEL_CACHE) > _KERNEL_CACHE_MAXSIZE:
+            _KERNEL_CACHE.popitem(last=False)
+        _KERNEL_CACHE_STATS["misses"] += 1
     return fn, "miss"
 
 
 def kernel_cache_stats() -> Dict[str, int]:
     """Hit/miss counters and current size of the compiled-kernel cache."""
-    return {**_KERNEL_CACHE_STATS, "size": len(_KERNEL_CACHE)}
+    with _KERNEL_CACHE_LOCK:
+        return {**_KERNEL_CACHE_STATS, "size": len(_KERNEL_CACHE)}
 
 
 def clear_kernel_cache() -> None:
-    _KERNEL_CACHE.clear()
-    _KERNEL_CACHE_STATS.update(hits=0, misses=0)
+    with _KERNEL_CACHE_LOCK:
+        _KERNEL_CACHE.clear()
+        _KERNEL_CACHE_STATS.update(hits=0, misses=0)

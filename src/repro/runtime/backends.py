@@ -258,6 +258,7 @@ def execute(
     store: Optional[ArrayStore] = None,
     config: Optional[ExecConfig] = None,
     rng: Optional[random.Random] = None,
+    pool=None,
     **overrides,
 ) -> RunResult:
     """Run ``schedule`` through the configured backend; returns a
@@ -270,6 +271,13 @@ def execute(
     workers=4)``.  ``rng`` supplies a caller-owned shuffle generator
     (overrides ``seed``), mirroring the historical executors.
 
+    ``pool`` injects a live :class:`~repro.runtime.process.ProcessPool`
+    (``backend="process"`` only): the run attaches a fresh shared store to
+    the already-running workers instead of forking a pool of its own — the
+    serving daemon's warm path (:mod:`repro.serving`).  The pool must have
+    been built for a structurally identical program; its worker count wins
+    over ``config.workers``.
+
     Raises :class:`BackendUnavailable` when the backend's probe says it
     cannot run here (e.g. the process backend without ``/dev/shm``).
     """
@@ -280,6 +288,15 @@ def execute(
     reason = backend.available()
     if reason is not None:
         raise BackendUnavailable(f"backend {cfg.backend!r} unavailable: {reason}")
+    if pool is not None:
+        if cfg.backend != "process":
+            raise ValueError(
+                f"an injected pool requires backend='process' "
+                f"(got {cfg.backend!r})"
+            )
+        return backend.runner(
+            program, schedule, dict(params or {}), store, cfg, rng, pool=pool
+        )
     return backend.runner(program, schedule, dict(params or {}), store, cfg, rng)
 
 
@@ -409,6 +426,7 @@ def _process_runner(
     store: Optional[ArrayStore],
     config: ExecConfig,
     rng: Optional[random.Random],
+    pool=None,
 ) -> RunResult:
     from .process import ProcessPool
 
@@ -422,13 +440,41 @@ def _process_runner(
     rng = _resolve_rng(config, rng)
     stats: List[PhaseStats] = []
     t_run = time.perf_counter()
+
+    if pool is not None:
+        # Warm path: the caller owns a running pool; this run only ships a
+        # fresh descriptor table and the phase slices.  detach_store() in the
+        # finally destroys the per-request segment even on a worker crash.
+        pool.attach_store(store)
+        try:
+            for phase in schedule.phases:
+                t0 = time.perf_counter()
+                executed, tasks = pool.run_phase(phase, rng)
+                stats.append(
+                    PhaseStats(
+                        phase.name, executed, len(phase), tasks,
+                        time.perf_counter() - t0,
+                    )
+                )
+            pool.copy_out(store)
+        finally:
+            pool.detach_store()
+        return RunResult(
+            store=store,
+            backend="process",
+            workers=pool.workers,
+            phase_stats=tuple(stats),
+            elapsed_s=time.perf_counter() - t_run,
+            meta={"start_method": pool.start_method, "pool": "injected"},
+        )
+
     with ProcessPool(
         program, store, workers=config.workers, mp_context=config.mp_context
-    ) as pool:
-        start_method = pool.start_method
+    ) as owned:
+        start_method = owned.start_method
         for phase in schedule.phases:
             t0 = time.perf_counter()
-            executed, tasks = pool.run_phase(phase, rng)
+            executed, tasks = owned.run_phase(phase, rng)
             stats.append(
                 PhaseStats(
                     phase.name, executed, len(phase), tasks,
@@ -437,7 +483,7 @@ def _process_runner(
             )
         # The shared segment is authoritative; fill the caller's store so the
         # mutate-in-place contract matches every other backend.
-        pool.copy_out(store)
+        owned.copy_out(store)
     return RunResult(
         store=store,
         backend="process",

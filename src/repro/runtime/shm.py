@@ -108,6 +108,8 @@ class SharedArrayStore:
         self._shm = shm
         self.descriptors = tuple(descriptors)
         self.owner = owner
+        self._closed = False
+        self._unlinked = False
         self.arrays: Dict[str, np.ndarray] = _views(shm.buf, self.descriptors)
 
     # -- construction -----------------------------------------------------------
@@ -126,8 +128,28 @@ class SharedArrayStore:
     def attach(
         cls, shm_name: str, descriptors: Tuple[ArrayDescriptor, ...]
     ) -> "SharedArrayStore":
-        """Map an existing segment by name (the worker side; attach once)."""
-        shm = shared_memory.SharedMemory(name=shm_name)
+        """Map an existing segment by name (the worker side; attach once).
+
+        The mapping is deliberately *not* resource-tracked: the creating side
+        owns the segment's lifetime.  If attaching workers registered it too,
+        a worker with its own tracker would warn about (and try to unlink)
+        segments the owner already destroyed, while a worker sharing the
+        parent's forked tracker would — worse — have its per-attach
+        ``unregister`` erase the *owner's* registration.  Python 3.13 has
+        ``track=False`` for exactly this; on older versions registration is
+        suppressed during the ``SharedMemory`` constructor call.
+        """
+        try:
+            shm = shared_memory.SharedMemory(name=shm_name, track=False)
+        except TypeError:  # pragma: no cover - Python < 3.13
+            from multiprocessing import resource_tracker
+
+            original_register = resource_tracker.register
+            resource_tracker.register = lambda *args, **kwargs: None
+            try:
+                shm = shared_memory.SharedMemory(name=shm_name)
+            finally:
+                resource_tracker.register = original_register
         return cls(shm, descriptors, owner=False)
 
     # -- the wire-format identity of the store ----------------------------------
@@ -152,14 +174,28 @@ class SharedArrayStore:
     # -- lifetime ---------------------------------------------------------------
 
     def close(self) -> None:
-        """Drop this process's mapping (views become invalid)."""
+        """Drop this process's mapping (views become invalid).  Idempotent —
+        crash-cleanup paths may run it after a normal teardown already did."""
+        if self._closed:
+            return
+        self._closed = True
         self.arrays = {}
         self._shm.close()
 
     def unlink(self) -> None:
-        """Destroy the segment (owner only; call after every worker closed)."""
-        if self.owner:
+        """Destroy the segment (owner only; call after every worker closed).
+
+        Idempotent, and tolerant of the segment already being gone — the
+        ``try/finally`` teardown paths in :mod:`repro.runtime.process` must be
+        able to call this unconditionally without masking the original error.
+        """
+        if not self.owner or self._unlinked:
+            return
+        self._unlinked = True
+        try:
             self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already destroyed
+            pass
 
     def __enter__(self) -> "SharedArrayStore":
         return self

@@ -1,0 +1,32 @@
+"""Memory-resident plan serving: warm caches + persistent worker pools.
+
+The one-shot front door (``plan(...)`` then ``execute(...)``) re-pays
+planning and — on the ``process`` backend — a full worker fork on every
+call.  This package keeps those assets alive across requests:
+
+>>> from repro.serving import PlanServer
+>>> from repro.runtime.backends import ExecConfig
+>>> from repro.workloads.paper import figure1_program          # doctest: +SKIP
+>>> with PlanServer(default_exec=ExecConfig(backend="process", workers=2)) as srv:
+...     first = srv.request(prog, params)                      # doctest: +SKIP
+...     again = srv.request(prog, params)                      # doctest: +SKIP
+>>> again.plan_cache_hit and again.pool_reused                 # doctest: +SKIP
+True
+
+See :mod:`repro.serving.server` for the threading/ownership model,
+:mod:`repro.serving.queue` for admission batching and the drain-on-shutdown
+contract, and :mod:`repro.serving.api` for the request/response payloads.
+"""
+
+from .api import PlanRequest, PlanResponse
+from .queue import AdmissionQueue, ServerClosed, Ticket
+from .server import PlanServer
+
+__all__ = [
+    "AdmissionQueue",
+    "PlanRequest",
+    "PlanResponse",
+    "PlanServer",
+    "ServerClosed",
+    "Ticket",
+]

@@ -1,0 +1,141 @@
+"""Admission queue of the plan server: tickets, batching, drain-on-close.
+
+Clients on any thread :meth:`~AdmissionQueue.submit` a request and get a
+:class:`Ticket` back immediately; the single serving thread pulls work with
+:meth:`~AdmissionQueue.next_batch`, which blocks for the *first* pending
+request and then drains (without further waiting) up to ``max_batch`` more.
+Small executions submitted close together therefore ride the same batch —
+the server plans/attaches/executes them back-to-back against the live worker
+pool, so per-request overhead (and the pool's per-phase barrier set-up)
+amortises across the batch.
+
+Shutdown contract: :meth:`~AdmissionQueue.close` stops new admissions
+(subsequent submits raise :class:`ServerClosed`) but leaves already-admitted
+requests in the queue — the serving loop keeps calling ``next_batch`` until
+it returns an empty batch *and* :attr:`~AdmissionQueue.closed` is set, which
+is the drain-on-shutdown path.  :meth:`~AdmissionQueue.fail_pending` is the
+no-drain alternative: every waiting ticket gets a :class:`ServerClosed`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+from .api import PlanRequest, PlanResponse
+
+__all__ = ["AdmissionQueue", "ServerClosed", "Ticket"]
+
+
+class ServerClosed(RuntimeError):
+    """Raised by submits after close, and into tickets dropped un-served."""
+
+
+class Ticket:
+    """A client's handle on one admitted request.
+
+    The serving thread completes it exactly once with either a
+    :class:`~repro.serving.api.PlanResponse` or an exception;
+    :meth:`result` blocks the client until then.
+    """
+
+    def __init__(self, request: PlanRequest):
+        self.request = request
+        self._done = threading.Event()
+        self._response: Optional[PlanResponse] = None
+        self._error: Optional[BaseException] = None
+
+    # -- serving side -----------------------------------------------------------
+
+    def set_result(self, response: PlanResponse) -> None:
+        self._response = response
+        self._done.set()
+
+    def set_exception(self, error: BaseException) -> None:
+        self._error = error
+        self._done.set()
+
+    # -- client side ------------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> PlanResponse:
+        """The response, blocking up to ``timeout`` seconds.
+
+        Re-raises the serving-side exception if the request failed, and
+        :class:`TimeoutError` if the server has not answered in time.
+        """
+        if not self._done.wait(timeout):
+            raise TimeoutError(
+                f"request {self.request.request_id} not served within {timeout}s"
+            )
+        if self._error is not None:
+            raise self._error
+        assert self._response is not None
+        return self._response
+
+
+class AdmissionQueue:
+    """FIFO admission with bounded batch hand-off to the serving thread."""
+
+    def __init__(self, max_batch: int = 8):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.max_batch = max_batch
+        self._pending: Deque[Ticket] = deque()
+        self._lock = threading.Lock()
+        self._available = threading.Condition(self._lock)
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    def submit(self, request: PlanRequest) -> Ticket:
+        """Admit ``request``; raises :class:`ServerClosed` after close."""
+        ticket = Ticket(request)
+        with self._lock:
+            if self._closed:
+                raise ServerClosed("plan server is shutting down")
+            self._pending.append(ticket)
+            self._available.notify()
+        return ticket
+
+    def next_batch(self, timeout: Optional[float] = None) -> List[Ticket]:
+        """Up to ``max_batch`` tickets; waits ``timeout`` for the first one.
+
+        Returns an empty list on timeout or when closed-and-empty — the
+        serving loop treats ``[] and closed`` as the drain-complete signal.
+        """
+        with self._lock:
+            if not self._pending and not self._closed:
+                self._available.wait(timeout)
+            batch: List[Ticket] = []
+            while self._pending and len(batch) < self.max_batch:
+                batch.append(self._pending.popleft())
+            return batch
+
+    def close(self) -> None:
+        """Refuse new admissions; pending tickets stay queued for draining."""
+        with self._lock:
+            self._closed = True
+            self._available.notify_all()
+
+    def fail_pending(self, error: Optional[BaseException] = None) -> int:
+        """Complete every still-queued ticket with ``error`` (no-drain stop).
+
+        Returns how many tickets were failed.
+        """
+        with self._lock:
+            dropped = list(self._pending)
+            self._pending.clear()
+        for ticket in dropped:
+            ticket.set_exception(error or ServerClosed("plan server stopped"))
+        return len(dropped)

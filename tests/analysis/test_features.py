@@ -206,3 +206,30 @@ class TestFeatureCache:
             config=PlanConfig(strategies=("dataflow",)), cache=False,
         )
         assert feature_cache_stats() == {"size": 0, "hits": 0, "misses": 0}
+
+
+class TestFeatureCacheThreadSafety:
+    def test_concurrent_extraction_keeps_cache_coherent(self):
+        """Many threads extracting features of a handful of programs must
+        never corrupt the LRU; counters stay coherent and bounded."""
+        import threading
+
+        progs = [figure1_loop(6 + i, 6) for i in range(4)]
+        errors = []
+
+        def worker(worker_id):
+            try:
+                for i in range(25):
+                    program_features(progs[(worker_id + i) % len(progs)])
+            except Exception as exc:  # noqa: BLE001 - collected for assert
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(w,)) for w in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        stats = feature_cache_stats()
+        assert stats["size"] <= len(progs)
+        assert stats["hits"] + stats["misses"] == 6 * 25

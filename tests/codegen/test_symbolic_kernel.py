@@ -209,3 +209,49 @@ class TestKernelCache:
         again = execute(prog, p.schedule, {}, backend="compiled")
         assert first.meta["kernel_cache"] == "miss"
         assert again.meta["kernel_cache"] == "hit"
+
+    def test_cache_is_lru_bounded(self, monkeypatch):
+        """Regression: the kernel cache used to grow without limit — a
+        memory leak in a long-lived server.  It is now an LRU with a cap."""
+        from repro.codegen import python_source
+
+        monkeypatch.setattr(python_source, "_KERNEL_CACHE_MAXSIZE", 2)
+        progs = [large_uniform_loop(6 + i, 5) for i in range(3)]
+        plans = [plan(p, config=SYMBOLIC, cache=False) for p in progs]
+        kernels = [ensure_symbolic_kernel(p, pl.schedule)[0] for p, pl in zip(progs, plans)]
+        assert kernel_cache_stats()["size"] == 2
+        # oldest entry (progs[0]) was evicted: re-ensuring recompiles
+        fn, status = ensure_symbolic_kernel(progs[0], plans[0].schedule)
+        assert status == "miss"
+        # newest entry is still warm
+        fn2, status2 = ensure_symbolic_kernel(progs[2], plans[2].schedule)
+        assert status2 == "hit" and fn2 is kernels[2]
+
+    def test_cache_safe_under_concurrent_ensure(self):
+        """Many threads compiling/hitting at once never corrupt the LRU."""
+        import threading
+
+        prog = large_uniform_loop(6, 5)
+        p = plan(prog, config=SYMBOLIC, cache=False)
+        fns, errors = [], []
+
+        def worker():
+            try:
+                for _ in range(20):
+                    fn, _ = ensure_symbolic_kernel(prog, p.schedule)
+                    fns.append(fn)
+            except Exception as exc:  # noqa: BLE001 - collected for assert
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert kernel_cache_stats()["size"] == 1
+        # at most the initial compile race produces extra objects (last put
+        # wins); once warm, everyone must be handed the one cached kernel
+        assert len(set(map(id, fns))) <= len(threads)
+        warm, status = ensure_symbolic_kernel(prog, p.schedule)
+        assert status == "hit"

@@ -442,3 +442,69 @@ class TestPlanObject:
         assert p.longest_chain() <= p.chain_length_bound()
         df = plan(example3_loop(10), cache=False)
         assert df.chain_length_bound() is None and df.longest_chain() == 0
+
+
+class TestPlanCacheThreadSafety:
+    def test_concurrent_get_put_never_corrupts(self):
+        """Hammer one PlanCache from many threads with interleaved hits,
+        misses and evictions; the LRU must stay bounded and consistent.
+        (Unlocked OrderedDict mutation raises or corrupts under this load —
+        the regression this pins is the daemon's shared-cache requirement.)"""
+        import threading
+
+        cache = PlanCache(maxsize=8)
+        sentinel = object()
+        errors = []
+
+        def worker(worker_id):
+            try:
+                for i in range(300):
+                    key = (f"fp{(worker_id + i) % 16}", (), None)
+                    if cache.get(key) is None:
+                        cache.put(key, sentinel)
+                    if i % 50 == 0:
+                        cache.stats()
+            except Exception as exc:  # noqa: BLE001 - collected for assert
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(w,)) for w in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert len(cache) <= 8
+        stats = cache.stats()
+        assert stats["hits"] + stats["misses"] == 8 * 300
+
+    def test_concurrent_plan_calls_share_one_cache(self):
+        """plan() itself is safe against a shared cache: all threads get
+        the identical plan object once it is cached."""
+        import threading
+
+        cache = PlanCache()
+        prog = figure2_loop(8)
+        plans, errors = [], []
+
+        def worker():
+            try:
+                for _ in range(5):
+                    plans.append(plan(prog, cache=cache))
+            except Exception as exc:  # noqa: BLE001 - collected for assert
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        # racing misses may each have planned (last put wins) — every
+        # result must still be an equivalent plan of the same program...
+        final = plan(prog, cache=cache)
+        assert all(
+            p.fingerprint == final.fingerprint and p.strategy == final.strategy
+            for p in plans
+        )
+        # ...and once the race settles, hits are identity-stable
+        assert plan(prog, cache=cache) is final

@@ -6,6 +6,10 @@ kept at 2 and every test skips gracefully where POSIX shared memory is
 unavailable (e.g. a container without ``/dev/shm``).
 """
 
+import os
+import signal
+import time
+
 import numpy as np
 import pytest
 
@@ -185,3 +189,128 @@ def test_unavailable_reason_is_none_here():
     """This suite only runs where the probe passes; pin the probe's contract."""
     assert shared_memory_unavailable_reason() is None
     assert process_unavailable_reason() is None
+
+
+# ---------------------------------------------------------------------------
+# lifecycle regressions: crash-time segment cleanup, shutdown escalation,
+# and pool reuse across execute() calls (the serving daemon's warm path)
+# ---------------------------------------------------------------------------
+
+
+def _segment_path(shared):
+    return os.path.join("/dev/shm", shared.shm_name)
+
+
+def _ignore_sigterm_forever():
+    """A deliberately-wedged worker: ignores the sentinel *and* SIGTERM."""
+    signal.signal(signal.SIGTERM, signal.SIG_IGN)
+    while True:
+        time.sleep(0.05)
+
+
+class TestPoolLifecycle:
+    def test_worker_crash_mid_lifetime_unlinks_segment(self):
+        """Regression: a worker killed after the store is packed must not
+        leak the shared segment — shutdown's finally path always closes and
+        unlinks the owner's mapping."""
+        prog = figure1_loop(8, 8)
+        p = plan(prog, cache=False)
+        pool = ProcessPool(prog, workers=WORKERS)
+        try:
+            pool.attach_store(make_store(prog))
+            seg = _segment_path(pool.shared)
+            assert os.path.exists(seg)
+            # kill every worker: a surviving sibling could otherwise steal
+            # and ack the dead worker's tasks off the shared queue
+            for victim in pool._procs:
+                os.kill(victim.pid, signal.SIGKILL)
+            for victim in pool._procs:
+                victim.join(timeout=5)
+            with pytest.raises(RuntimeError, match="died"):
+                pool.run_phase(p.schedule.phases[0])
+            assert pool.broken
+        finally:
+            pool.shutdown()
+        assert not os.path.exists(seg)
+        # a broken pool refuses further stores instead of hanging a barrier
+        with pytest.raises(RuntimeError):
+            pool.attach_store(make_store(prog))
+
+    def test_detach_store_with_broken_pool_still_unlinks(self):
+        """detach_store() must skip the worker round-trip when the pool is
+        broken (the acks will never come) yet still destroy the segment."""
+        prog = figure1_loop(6, 6)
+        pool = ProcessPool(prog, workers=WORKERS)
+        try:
+            pool.attach_store(make_store(prog))
+            seg = _segment_path(pool.shared)
+            for proc in pool._procs:
+                os.kill(proc.pid, signal.SIGKILL)
+            for proc in pool._procs:
+                proc.join(timeout=5)
+            assert pool.broken
+            pool.detach_store()
+            assert not os.path.exists(seg)
+        finally:
+            pool.shutdown()
+
+    def test_shutdown_escalates_to_kill_on_wedged_worker(self):
+        """Regression: shutdown() used to stop at terminate(); a SIGTERM-
+        ignoring worker leaked the process and its queue feeder threads.
+        The kill() escalation must reap it within the configured timeouts."""
+        prog = figure1_loop(6, 6)
+        pool = ProcessPool(prog, workers=WORKERS)
+        stubborn = pool._ctx.Process(target=_ignore_sigterm_forever, daemon=True)
+        stubborn.start()
+        pool._procs.append(stubborn)
+        pool.attach_store(make_store(prog))
+        seg = _segment_path(pool.shared)
+        start = time.perf_counter()
+        pool.shutdown(join_timeout=0.2, kill_timeout=0.5)
+        elapsed = time.perf_counter() - start
+        assert elapsed < 10
+        for proc in pool._procs:
+            assert not proc.is_alive()
+        assert not os.path.exists(seg)
+
+    def test_shutdown_idempotent(self):
+        prog = figure1_loop(5, 5)
+        pool = ProcessPool(prog, workers=WORKERS)
+        pool.attach_store(make_store(prog))
+        pool.shutdown()
+        pool.shutdown()  # second call must be harmless
+        assert pool.shared is None
+
+
+class TestPoolReuse:
+    def test_injected_pool_serves_many_requests(self):
+        """One persistent pool serves repeated execute() calls: results stay
+        bit-identical to the sequential reference, runs are flagged as
+        injected, and no segment survives the pool's shutdown."""
+        prog = example3_loop(8)
+        p = plan(prog, cache=False)
+        ref = execute_sequential(prog, {})
+        pool = ProcessPool(prog, workers=WORKERS)
+        seen_segments = []
+        try:
+            for _ in range(3):
+                result = execute(prog, p.schedule, {}, backend="process", pool=pool)
+                assert result.meta["pool"] == "injected"
+                assert result.workers == WORKERS
+                for name in ref:
+                    assert np.array_equal(ref[name], result.store[name])
+                assert pool.shared is None  # detached after every request
+        finally:
+            pool.shutdown()
+        leftovers = [s for s in seen_segments if os.path.exists(s)]
+        assert not leftovers
+
+    def test_injected_pool_requires_process_backend(self):
+        prog = figure1_loop(5, 5)
+        p = plan(prog, cache=False)
+        pool = ProcessPool(prog, workers=WORKERS)
+        try:
+            with pytest.raises(ValueError, match="backend='process'"):
+                execute(prog, p.schedule, {}, backend="serial", pool=pool)
+        finally:
+            pool.shutdown()
