@@ -19,6 +19,7 @@ Rows are appended to ``BENCH_scale.json`` via the run_id-keyed trajectory
 recorder shared with ``bench_scale_partition.py``.
 """
 
+import threading
 import time
 
 import numpy as np
@@ -29,6 +30,7 @@ from repro.runtime import execute, execute_sequential
 from repro.runtime.backends import ExecConfig
 from repro.runtime.process import process_unavailable_reason
 from repro.serving import PlanServer
+from repro.serving.transport import TransportClient, TransportServer
 from repro.workloads.corpus import selection_corpus
 
 from bench_scale_partition import record_bench
@@ -104,3 +106,92 @@ def test_warm_requests_amortise_cold_planning(report):
         f"(cold {t_cold * 1e3:.1f} ms, warm {t_warm * 1e3:.1f} ms) — "
         f"the serving contract requires >= 10x on repeat-plan requests"
     )
+
+
+#: Wire-path measurement: M concurrent TCP clients, R warm requests each.
+CLIENTS = 4
+REQUESTS_PER_CLIENT = 8
+
+
+def test_wire_path_throughput_and_overhead(report):
+    """Throughput + p50/p99 over concurrent TCP clients; the warm wire
+    overhead against the in-process path is *recorded*, not gated — the
+    wire pays marshalling + loopback, the contract is only that results
+    stay bit-identical and the row lands in the trajectory."""
+    entry = _planning_heaviest_entry()
+    prog, params = entry.program, dict(entry.params)
+    cfg = ExecConfig(backend="process", workers=WORKERS)
+    ref = execute_sequential(prog, params)
+
+    latencies = []
+    windows = []
+    failures = []
+    lock = threading.Lock()
+
+    with TransportServer(default_exec=cfg, max_pending=64) as ts:
+        host, port = ts.address
+        srv = ts.plan_server
+
+        # in-process warm baseline on the very same (shared) server
+        srv.request(prog, params=params, timeout=120)  # warm-up
+        t_local = float("inf")
+        for _ in range(WARM_RUNS):
+            t0 = time.perf_counter()
+            srv.request(prog, params=params, timeout=120)
+            t_local = min(t_local, time.perf_counter() - t0)
+
+        def client(seed: int) -> None:
+            try:
+                with TransportClient(host, port, rng_seed=seed) as c:
+                    c.request(prog, params=params, timeout=120)  # conn warm-up
+                    mine = []
+                    start = time.perf_counter()
+                    for _ in range(REQUESTS_PER_CLIENT):
+                        t0 = time.perf_counter()
+                        resp = c.request(prog, params=params, timeout=120)
+                        mine.append(time.perf_counter() - t0)
+                        if not all(
+                            np.array_equal(ref[k], resp.result.store[k])
+                            for k in ref
+                        ):
+                            failures.append(f"client {seed}: store diverged")
+                    end = time.perf_counter()
+                with lock:
+                    latencies.extend(mine)
+                    windows.append((start, end))
+            except Exception as exc:  # noqa: BLE001 - surfaced via assert
+                failures.append(f"client {seed}: {exc!r}")
+
+        threads = [
+            threading.Thread(target=client, args=(s,), daemon=True)
+            for s in range(CLIENTS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(600)
+
+    assert not failures, failures
+    assert len(latencies) == CLIENTS * REQUESTS_PER_CLIENT
+    wall = max(e for _, e in windows) - min(s for s, _ in windows)
+    p50, p99 = np.percentile(latencies, [50, 99])
+    rows = [
+        {
+            "workload": entry.name if hasattr(entry, "name") else entry.family,
+            "backend": "process",
+            "workers": WORKERS,
+            "clients": CLIENTS,
+            "requests": len(latencies),
+            "throughput_rps": round(len(latencies) / wall, 1),
+            "p50_ms": round(p50 * 1e3, 2),
+            "p99_ms": round(p99 * 1e3, 2),
+            "t_warm_local_ms": round(t_local * 1e3, 2),
+            "wire_overhead_ms": round((p50 - t_local) * 1e3, 2),
+        }
+    ]
+    report(
+        f"TCP wire path, {CLIENTS} concurrent clients "
+        f"(overhead vs in-process recorded, not gated)",
+        rows,
+    )
+    record_bench("serving_wire", rows)

@@ -7,12 +7,21 @@ threads, and prints how the warm paths amortise: the first request of each
 program pays planning and the worker fork, every repeat rides the plan
 cache and the already-running pool.
 
-The script doubles as the CI serving smoke check: it validates every served
-result against the sequential reference, snapshots ``/dev/shm`` before and
-after, and exits non-zero on any mismatch or leaked shared-memory segment.
+With ``--tcp`` the same traffic goes over the wire transport instead of
+in-process submission: ``--tcp self`` starts a loopback
+:class:`~repro.serving.transport.TransportServer` in this process and gives
+every client thread its own :class:`~repro.serving.transport.TransportClient`
+socket; ``--tcp HOST:PORT`` connects to an already-running transport server
+elsewhere.
+
+The script doubles as the CI serving smoke check (both modes): it validates
+every served result against the sequential reference, snapshots
+``/dev/shm`` before and after, and exits non-zero on any mismatch or leaked
+shared-memory segment.
 """
 
 import argparse
+import contextlib
 import glob
 import sys
 import threading
@@ -23,6 +32,7 @@ from repro.runtime import execute_sequential
 from repro.runtime.backends import ExecConfig
 from repro.runtime.process import process_unavailable_reason
 from repro.serving import PlanServer
+from repro.serving.transport import TransportClient, TransportServer
 from repro.workloads.examples import example3_loop, figure1_loop
 
 
@@ -38,6 +48,13 @@ def main() -> int:
                         help="requests per client thread (default 4)")
     parser.add_argument("--threads", type=int, default=2,
                         help="client threads (default 2)")
+    parser.add_argument("--tcp", metavar="HOST:PORT",
+                        help="use the wire transport: 'self' starts a "
+                             "loopback TransportServer in-process, "
+                             "HOST:PORT connects to a running one")
+    parser.add_argument("--max-pending", type=int, default=64,
+                        help="admission bound for the self-hosted "
+                             "transport server (default 64)")
     args = parser.parse_args()
 
     backend = "process"
@@ -52,12 +69,40 @@ def main() -> int:
     failures = []
 
     cfg = ExecConfig(backend=backend, workers=args.workers)
-    with PlanServer(default_exec=cfg) as server:
+
+    with contextlib.ExitStack() as stack:
+        if args.tcp is None:
+            server = stack.enter_context(PlanServer(default_exec=cfg))
+            submit = [server] * args.threads
+            stats_source = server
+        else:
+            if args.tcp == "self":
+                transport = stack.enter_context(
+                    TransportServer(
+                        default_exec=cfg, max_pending=args.max_pending
+                    )
+                )
+                host, port = transport.address
+                print(f"self-hosted transport server on {host}:{port}")
+                stats_source = transport
+            else:
+                host, sep, port_s = args.tcp.partition(":")
+                if not sep:
+                    parser.error("--tcp expects 'self' or HOST:PORT")
+                host, port = host, int(port_s)
+                stats_source = None
+            # one socket per client thread: exercises concurrent
+            # connections, per-connection demultiplexing, and busy-retry
+            submit = [
+                stack.enter_context(TransportClient(host, port, rng_seed=i))
+                for i in range(args.threads)
+            ]
 
         def client(worker_id: int) -> None:
+            endpoint = submit[worker_id]
             for i in range(args.requests):
                 which = (worker_id + i) % len(programs)
-                response = server.request(programs[which], timeout=120)
+                response = endpoint.request(programs[which], timeout=120)
                 ref = references[which]
                 for name in ref:
                     if not np.array_equal(ref[name], response.result.store[name]):
@@ -81,9 +126,10 @@ def main() -> int:
             t.start()
         for t in threads:
             t.join()
-        stats = server.stats()
+        stats = stats_source.stats() if stats_source is not None else None
 
-    print(f"\nserver stats: {stats}")
+    if stats is not None:
+        print(f"\nserver stats: {stats}")
 
     shm_after = _dev_shm()
     leaked = shm_after - shm_before

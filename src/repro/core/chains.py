@@ -46,6 +46,7 @@ __all__ = [
     "chains_from_relation",
     "chains_from_recurrence",
     "verify_disjoint_chains",
+    "chains_respect_relation",
 ]
 
 Point = Tuple[int, ...]
@@ -263,3 +264,40 @@ def verify_disjoint_chains(chains: Sequence[MonotonicChain], p2: Iterable[Point]
                 return False
             seen.add(p)
     return seen == set(tuple(p) for p in p2)
+
+
+def chains_respect_relation(
+    chains: Sequence[MonotonicChain], partition: ThreeSetPartition
+) -> bool:
+    """Check every P2-internal dependence edge is honoured by the chains.
+
+    The three-phase schedule runs the chains of P2 concurrently, each chain
+    sequentially in order — so a dependence edge with *both* endpoints inside
+    P2 is respected iff both endpoints sit on the *same* chain with the source
+    strictly earlier.  The recurrence walk only follows the coupled pair's
+    affine map; a second, uncoupled dependence (e.g. a constant-subscript
+    reference rewritten every iteration) can thread through P2 without being
+    on any chain, and this check is what catches that before the schedule is
+    built.  Edges entering P2 from P1 or leaving it to P3 are ordered by the
+    phase barriers and are not this function's concern.
+    """
+    position: Dict[Point, Tuple[int, int]] = {}
+    for ci, chain in enumerate(chains):
+        for pos, p in enumerate(chain):
+            if p in position:
+                return False  # overlapping chains would run an instance twice
+            position[p] = (ci, pos)
+    p2 = set(tuple(p) for p in partition.p2)
+    if not p2 or not len(partition.rd):
+        return True
+    src, dst = partition.rd.as_arrays()
+    for a, b in zip(map(tuple, src.tolist()), map(tuple, dst.tolist())):
+        if a == b or a not in p2 or b not in p2:
+            continue  # self-edges and edges ordered by the phase barriers
+        pa = position.get(a)
+        pb = position.get(b)
+        if pa is None or pb is None:
+            return False  # an internal endpoint is on no chain at all
+        if pa[0] != pb[0] or pa[1] >= pb[1]:
+            return False
+    return True

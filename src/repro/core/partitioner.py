@@ -47,7 +47,13 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..dependence.analysis import DependenceAnalysis
 from ..ir.program import LoopProgram
-from .chains import MonotonicChain, chains_from_recurrence, chains_from_relation, verify_disjoint_chains
+from .chains import (
+    MonotonicChain,
+    chains_from_recurrence,
+    chains_from_relation,
+    chains_respect_relation,
+    verify_disjoint_chains,
+)
 from .dataflow import dataflow_partition, dataflow_schedule
 from .partition import ThreeSetPartition, three_set_partition
 from .recurrence import AffineRecurrence, iteration_space_diameter, theorem1_bound
@@ -171,6 +177,18 @@ def recurrence_not_applicable_reason(analysis: DependenceAnalysis) -> Optional[s
     The condition is exactly the historical ``use_chains`` test of Algorithm 1;
     the strategy registry surfaces the returned reason in ``Plan.explain()``.
     """
+    statements = analysis.program.statements()
+    if len(statements) != 1:
+        # The three-phase schedule of this branch executes exactly one
+        # statement label; a second statement's instances would never be
+        # scheduled and its dependences (e.g. a WAW rewrite of a constant
+        # cell) never ordered.  Multi-statement programs take the §3.3
+        # statement-level dataflow branch instead.
+        return (
+            "the chain branch schedules a single statement, but the program "
+            f"has {len(statements)} (other statements' instances and "
+            "dependences would not be covered)"
+        )
     single_pair = analysis.single_coupled_pair()
     if single_pair is None:
         coupled = [
@@ -226,11 +244,23 @@ def recurrence_branch(
     partition = three_set_partition(space_points, rd, engine=engine)
     recurrence = AffineRecurrence.from_pair(single_pair)
     chains = chains_from_recurrence(partition, recurrence)
-    if not verify_disjoint_chains(chains, partition.p2):
-        # Lemma 1's precondition failed in practice (should not happen for a
-        # genuinely single coupled pair) — fall back to the graph walk,
-        # which always covers P2.
+    if not verify_disjoint_chains(chains, partition.p2) or not chains_respect_relation(
+        chains, partition
+    ):
+        # Lemma 1's precondition failed in practice: either the recurrence
+        # walk did not yield a disjoint cover of P2, or Rd carries P2-internal
+        # dependences outside the coupled pair's recurrence (e.g. an uncoupled
+        # constant-subscript reference) that the chains do not order.  Fall
+        # back to the graph walk over the full exact relation, which follows
+        # every dependence edge.
         chains = chains_from_relation(partition)
+        if not chains_respect_relation(chains, partition):
+            raise PartitioningNotApplicable(
+                f"recurrence-chain branch does not apply to {program.name!r}: "
+                "P2-internal dependences do not decompose into disjoint "
+                "monotonic chains (edges cross chains); the dataflow branch "
+                "handles this shape"
+            )
     schedule = three_phase_schedule(
         f"{program.name}-REC", label, partition, chains
     )

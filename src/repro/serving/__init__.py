@@ -19,6 +19,7 @@ contract, and :mod:`repro.serving.api` for the request/response payloads.
 """
 
 from .api import PlanRequest, PlanResponse
+from .policy import ServerBusy
 from .queue import AdmissionQueue, ServerClosed, Ticket
 from .server import PlanServer
 
@@ -27,6 +28,7 @@ __all__ = [
     "PlanRequest",
     "PlanResponse",
     "PlanServer",
+    "ServerBusy",
     "ServerClosed",
     "Ticket",
 ]

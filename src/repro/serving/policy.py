@@ -1,0 +1,75 @@
+"""Admission back-pressure policy: what happens when the queue is full.
+
+A bounded :class:`~repro.serving.queue.AdmissionQueue` has to answer one
+question on saturation — *who absorbs the pressure?*
+
+``block``
+    The submitting thread waits for room.  The right default **in-process**:
+    callers are threads of the same program, blocking them is free flow
+    control and nothing is lost.
+
+``reject``
+    The submitter gets :class:`ServerBusy` immediately, with a retry hint.
+    The right policy **on the wire**: a remote client holding a TCP
+    connection must not pin a server thread while it waits, so the server
+    pushes the wait back to the client, which retries with capped
+    exponential backoff + jitter (see
+    :class:`repro.serving.transport.client.TransportClient`).
+
+The retry hint scales with how oversubscribed the queue is: a queue at
+capacity suggests one batch-drain interval, a deeply backed-up queue
+proportionally more, so retrying clients naturally spread out instead of
+stampeding the instant one slot frees.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = ["ADMISSION_POLICIES", "ServerBusy", "retry_after_ms_hint"]
+
+#: Recognised queue saturation policies.
+ADMISSION_POLICIES = ("block", "reject")
+
+#: Suggested wait per queued-batch of backlog (the serving loop's drain
+#: cadence is a few milliseconds per small request; this is deliberately a
+#: coarse, conservative hint — the client's backoff does the fine tuning).
+_BASE_RETRY_MS = 25
+
+
+def retry_after_ms_hint(depth: int, capacity: int, max_batch: int) -> int:
+    """A positive retry hint proportional to the backlog, in batches."""
+    backlog_batches = max(1, -(-max(depth, 1) // max(max_batch, 1)))
+    return _BASE_RETRY_MS * backlog_batches
+
+
+class ServerBusy(RuntimeError):
+    """The admission queue is at capacity and the policy is ``reject``.
+
+    Carries the structured facts a client needs to back off sensibly; the
+    wire layer sends them verbatim in a ``busy`` frame.
+    """
+
+    def __init__(self, retry_after_ms: int, depth: int, capacity: int):
+        super().__init__(
+            f"admission queue full ({depth}/{capacity} pending); "
+            f"retry in >= {retry_after_ms} ms"
+        )
+        self.retry_after_ms = int(retry_after_ms)
+        self.depth = int(depth)
+        self.capacity = int(capacity)
+
+    def to_header(self) -> Dict[str, int]:
+        return {
+            "retry_after_ms": self.retry_after_ms,
+            "depth": self.depth,
+            "capacity": self.capacity,
+        }
+
+    @staticmethod
+    def from_header(header: Dict[str, int]) -> "ServerBusy":
+        return ServerBusy(
+            retry_after_ms=int(header["retry_after_ms"]),
+            depth=int(header["depth"]),
+            capacity=int(header["capacity"]),
+        )

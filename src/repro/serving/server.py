@@ -61,6 +61,15 @@ class PlanServer:
     max_pools:
         LRU bound on distinct persistent pools, one per (program
         fingerprint, workers, start method); the evicted pool is shut down.
+    max_pending:
+        Admission bound (``None`` = unbounded, the historical behaviour).
+        With a bound, a full queue pushes back on submitters per
+        ``admission_policy``.
+    admission_policy:
+        Default saturation behaviour: ``"block"`` (park the submitting
+        thread until room opens — the in-process default) or ``"reject"``
+        (raise :class:`~repro.serving.policy.ServerBusy` with a retry hint —
+        what the wire transport uses per-submit regardless of this default).
     """
 
     def __init__(
@@ -70,6 +79,8 @@ class PlanServer:
         plan_cache: Optional[PlanCache] = None,
         max_pools: int = 4,
         poll_interval_s: float = 0.05,
+        max_pending: Optional[int] = None,
+        admission_policy: str = "block",
     ):
         if max_pools < 1:
             raise ValueError("max_pools must be >= 1")
@@ -77,7 +88,9 @@ class PlanServer:
         self.max_pools = max_pools
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
         self.poll_interval_s = poll_interval_s
-        self._queue = AdmissionQueue(max_batch=max_batch)
+        self._queue = AdmissionQueue(
+            max_batch=max_batch, max_pending=max_pending, policy=admission_policy
+        )
         self._pools: "OrderedDict[PoolKey, ProcessPool]" = OrderedDict()
         self._thread: Optional[threading.Thread] = None
         self._started = False
@@ -136,11 +149,16 @@ class PlanServer:
 
     # -- client API -------------------------------------------------------------
 
-    def submit(self, request: PlanRequest) -> Ticket:
-        """Admit a request; returns immediately with a :class:`Ticket`."""
+    def submit(self, request: PlanRequest, policy: Optional[str] = None) -> Ticket:
+        """Admit a request; returns immediately with a :class:`Ticket`.
+
+        ``policy`` overrides the queue's saturation default for this call
+        (the transport submits with ``policy="reject"`` so a remote client
+        gets a busy frame instead of pinning a server thread).
+        """
         if not self._started:
             raise ServerClosed("plan server not started (call start())")
-        return self._queue.submit(request)
+        return self._queue.submit(request, policy=policy)
 
     def request(
         self,
@@ -170,6 +188,7 @@ class PlanServer:
                 "requests_served": self._requests_served,
                 "requests_failed": self._requests_failed,
                 "batches": self._batches,
+                "queue": self._queue.stats(),
                 "plan_cache": self.plan_cache.stats(),
                 "pools": {
                     "size": len(self._pools),

@@ -1,0 +1,38 @@
+"""Wire transport for the plan server: framing, TCP server, retrying client.
+
+The in-process :class:`~repro.serving.PlanServer` speaks plain dataclasses;
+this package puts it on a socket without touching it:
+
+* :mod:`~repro.serving.transport.wire` — a length-prefixed binary protocol
+  (JSON header + raw NumPy payloads, protocol-versioned) marshalling
+  :class:`~repro.serving.api.PlanRequest` / ``PlanResponse`` and the loop
+  nest IR,
+* :mod:`~repro.serving.transport.tcp` — :class:`TransportServer`, accepting
+  concurrent TCP clients, feeding the server's admission queue with the
+  ``reject`` policy (a full queue answers ``busy`` frames instead of pinning
+  a thread) and streaming responses back per-ticket,
+* :mod:`~repro.serving.transport.client` — :class:`TransportClient`, the
+  same submit/result API as the in-process path plus capped
+  exponential-backoff retry honouring the server's ``retry_after_ms`` hint.
+"""
+
+from .client import TransportClient, WireTicket
+from .tcp import TransportServer
+from .wire import (
+    PROTOCOL_VERSION,
+    FrameKind,
+    ProtocolVersionMismatch,
+    RemoteServingError,
+    WireError,
+)
+
+__all__ = [
+    "FrameKind",
+    "PROTOCOL_VERSION",
+    "ProtocolVersionMismatch",
+    "RemoteServingError",
+    "TransportClient",
+    "TransportServer",
+    "WireError",
+    "WireTicket",
+]

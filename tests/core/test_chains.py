@@ -90,3 +90,48 @@ class TestChainExtraction:
         chains = [MonotonicChain(((1,), (2,)))]
         assert not verify_disjoint_chains(chains, {(1,), (2,), (3,)})
         assert verify_disjoint_chains(chains, {(1,), (2,)})
+
+
+class TestChainsRespectRelation:
+    """The new dependence-coverage check behind the recurrence branch."""
+
+    @staticmethod
+    def _partition():
+        # Φ = {1..4} with the chain relation 1→2→3→4: P1={1}, P2={2,3}, P3={4}.
+        from repro.isl.relations import FiniteRelation
+
+        rd = FiniteRelation.from_pairs([((1,), (2,)), ((2,), (3,)), ((3,), (4,))])
+        return three_set_partition({(1,), (2,), (3,), (4,)}, rd)
+
+    def test_single_chain_covering_p2_respects(self):
+        from repro.core.chains import chains_respect_relation
+
+        partition = self._partition()
+        chains = [MonotonicChain(((2,), (3,)))]
+        assert chains_respect_relation(chains, partition)
+
+    def test_split_chains_break_internal_edge(self):
+        from repro.core.chains import chains_respect_relation
+
+        partition = self._partition()
+        # 2 and 3 on *different* chains: the P2-internal edge 2→3 would run
+        # concurrently, so the decomposition must be rejected.
+        chains = [MonotonicChain(((2,),)), MonotonicChain(((3,),))]
+        assert not chains_respect_relation(chains, partition)
+
+    def test_uncovered_p2_endpoint_rejected(self):
+        from repro.core.chains import chains_respect_relation
+
+        partition = self._partition()
+        chains = [MonotonicChain(((2,),))]  # (3,) on no chain at all
+        assert not chains_respect_relation(chains, partition)
+
+    def test_graph_walk_chains_always_respect_single_pair(self):
+        from repro.core.chains import chains_respect_relation
+
+        _, partition, recurrence = setup(figure1_loop(10, 10))
+        for chains in (
+            chains_from_recurrence(partition, recurrence),
+            chains_from_relation(partition),
+        ):
+            assert chains_respect_relation(chains, partition)

@@ -2,12 +2,16 @@
 
 import random
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import recurrence_chain_partition
-from repro.runtime import validate_schedule
+from repro.core.strategy import PlanConfig, plan
+from repro.ir.builder import aref, assign, loop, program
+from repro.runtime import execute_sequential, validate_schedule
+from repro.runtime.backends import ExecConfig, execute
 from repro.workloads.examples import (
     cholesky_loop,
     example2_loop,
@@ -114,3 +118,89 @@ class TestExample4:
             prog, result.schedule, {}, dependences=result.statement_space.rd, seeds=(0,)
         )
         assert report.ok, str(report)
+
+
+class TestMultiStatementSoundness:
+    """Regression: the chain branch must not claim multi-statement programs.
+
+    Found while building the PR 9 serving differential (logged in ROADMAP):
+    on a multi-statement nest whose extra statement rewrites a *constant*
+    subscript (``x[0,0]`` every iteration), the single coupled pair drove the
+    recurrence-chains branch, whose three-phase schedule executes exactly one
+    statement label — the other statements' instances were never scheduled and
+    their WAW dependence on the constant cell never ordered, so the plan
+    executed bit-different from ``execute_sequential`` under intra-phase
+    shuffle.  The branch now gates on single-statement programs and these
+    shapes fall to the §3.3 statement-level dataflow branch.
+    """
+
+    @staticmethod
+    def _constant_cell_prog():
+        # s1 carries the only coupled pair (y(I1) <- y(I1-1)); s2 rewrites
+        # the constant cell x[0,0] every iteration (pure WAW chain).
+        return program(
+            "waw-constant-cell",
+            loop(
+                "I1",
+                1,
+                6,
+                assign("s1", aref("y", "I1"), [aref("y", "I1-1")]),
+                assign("s2", aref("x", 0, 0), [aref("y", "I1")]),
+            ),
+            array_shapes={"x": (4, 4), "y": (8,)},
+        )
+
+    @staticmethod
+    def _serving_falsifier_prog():
+        # The shape the PR 9 Hypothesis hunt found: only s1<->s2 couple on y,
+        # s3's instances (writes to x) were dropped entirely by the old branch.
+        return program(
+            "serving-falsifier",
+            loop(
+                "I1",
+                1,
+                4,
+                assign("s1", aref("y", "-I1+4")),
+                assign("s2", aref("y", "I1"), [aref("x", "-2*I1+11", "2*I1+1")]),
+                assign("s3", aref("x", "-I1+6", 3)),
+            ),
+            array_shapes={"x": (16, 16), "y": (8,)},
+        )
+
+    @pytest.mark.parametrize(
+        "factory", ["_constant_cell_prog", "_serving_falsifier_prog"]
+    )
+    def test_chain_branch_skips_multi_statement(self, factory):
+        prog = getattr(self, factory)()
+        p = plan(
+            prog,
+            config=PlanConfig(strategies=("recurrence-chains", "dataflow")),
+            cache=False,
+        )
+        assert p.scheme == "dataflow"
+        skipped = dict(p.skipped)
+        assert "recurrence-chains" in skipped
+        assert "single statement" in skipped["recurrence-chains"]
+
+    @pytest.mark.parametrize(
+        "factory", ["_constant_cell_prog", "_serving_falsifier_prog"]
+    )
+    def test_default_plan_matches_sequential_under_shuffle(self, factory):
+        prog = getattr(self, factory)()
+        p = plan(prog, cache=False)
+        ref = execute_sequential(prog, {})
+        for seed in (0, 1, 2, 3):
+            out = execute(
+                prog, p.schedule, {}, config=ExecConfig(backend="serial", seed=seed)
+            )
+            for name in ref:
+                assert np.array_equal(ref[name], out.store[name]), (
+                    f"{prog.name}: array {name!r} diverges from sequential "
+                    f"execution under shuffle seed {seed} (strategy {p.strategy})"
+                )
+
+    def test_old_shim_takes_dataflow(self):
+        # The deprecated dispatch must make the same call: chains raise
+        # PartitioningNotApplicable internally, dataflow handles the program.
+        result = recurrence_chain_partition(self._constant_cell_prog())
+        assert result.scheme == "dataflow"

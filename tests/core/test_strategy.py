@@ -106,7 +106,9 @@ class TestFallbackChain:
         assert p.strategy == "dataflow"
         skipped = dict(p.skipped)
         assert "recurrence-chains" in skipped
-        assert "coupled reference pair" in skipped["recurrence-chains"]
+        # example3 has two statements: the chain branch's single-statement
+        # gate is the first inapplicability reason to fire.
+        assert "single statement" in skipped["recurrence-chains"]
         assert "recurrence-chains" in p.explain()
 
     def test_fixed_selector_is_bit_identical_to_old_dispatch(self):

@@ -1,0 +1,201 @@
+"""Bounded-admission semantics: saturation policies, racing, observability.
+
+The queue's back-pressure contract (see ``repro/serving/policy.py``):
+
+* ``max_pending`` is a hard bound — the boundary submission is admitted,
+  the one past it saturates;
+* ``policy="reject"`` answers saturation with a structured
+  :class:`ServerBusy` carrying a positive retry hint;
+* ``policy="block"`` parks the submitter until the serving loop drains room
+  — and a blocked submitter must never hang: close wakes it with
+  :class:`ServerClosed`, ``fail_pending`` frees room for it;
+* every decision is countable via :meth:`AdmissionQueue.stats`, surfaced
+  unchanged through :meth:`PlanServer.stats`.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.serving import (
+    AdmissionQueue,
+    PlanRequest,
+    PlanServer,
+    ServerBusy,
+    ServerClosed,
+)
+from repro.workloads.examples import figure1_loop
+
+
+def _req():
+    return PlanRequest(program=figure1_loop(4, 4))
+
+
+class TestBoundary:
+    def test_max_pending_boundary_admits_then_rejects(self):
+        q = AdmissionQueue(max_batch=4, max_pending=3, policy="reject")
+        for _ in range(3):
+            q.submit(_req())  # up to the bound: admitted without pushback
+        with pytest.raises(ServerBusy) as exc_info:
+            q.submit(_req())
+        busy = exc_info.value
+        assert busy.retry_after_ms > 0
+        assert busy.depth == 3 and busy.capacity == 3
+        # draining one batch opens room again
+        assert len(q.next_batch(timeout=0.1)) == 3
+        q.submit(_req())
+
+    def test_unbounded_queue_never_rejects(self):
+        q = AdmissionQueue(max_batch=2, max_pending=None, policy="reject")
+        for _ in range(64):
+            q.submit(_req())
+        assert len(q) == 64
+
+    def test_per_submit_policy_override(self):
+        # A "block" queue still rejects a submit that asks for "reject" —
+        # the wire transport's face on a shared in-process queue.
+        q = AdmissionQueue(max_batch=1, max_pending=1, policy="block")
+        q.submit(_req())
+        with pytest.raises(ServerBusy):
+            q.submit(_req(), policy="reject")
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            AdmissionQueue(max_pending=0)
+        with pytest.raises(ValueError):
+            AdmissionQueue(policy="drop-newest")
+        q = AdmissionQueue(max_pending=1)
+        with pytest.raises(ValueError):
+            q.submit(_req(), policy="shed")
+
+
+class TestBlockingPolicy:
+    def test_blocked_submitter_proceeds_when_room_opens(self):
+        q = AdmissionQueue(max_batch=1, max_pending=1, policy="block")
+        q.submit(_req())
+        admitted = threading.Event()
+
+        def submitter():
+            q.submit(_req())
+            admitted.set()
+
+        t = threading.Thread(target=submitter, daemon=True)
+        t.start()
+        time.sleep(0.05)
+        assert not admitted.is_set()  # parked on the full queue
+        assert len(q.next_batch(timeout=0.1)) == 1  # drains -> room
+        assert admitted.wait(2.0)
+        t.join(2.0)
+        assert len(q) == 1
+
+    def test_close_wakes_blocked_submitter_with_server_closed(self):
+        q = AdmissionQueue(max_batch=1, max_pending=1, policy="block")
+        q.submit(_req())
+        outcome = []
+
+        def submitter():
+            try:
+                q.submit(_req())
+                outcome.append("admitted")
+            except ServerClosed:
+                outcome.append("closed")
+
+        t = threading.Thread(target=submitter, daemon=True)
+        t.start()
+        time.sleep(0.05)
+        q.close()
+        t.join(2.0)
+        assert not t.is_alive()
+        assert outcome == ["closed"]
+
+    def test_fail_pending_racing_blocked_submitter(self):
+        # fail_pending *without* close frees room: the parked submitter is
+        # admitted (its request was never part of the failed batch).
+        q = AdmissionQueue(max_batch=1, max_pending=1, policy="block")
+        first = q.submit(_req())
+        outcome = []
+
+        def submitter():
+            try:
+                outcome.append(("admitted", q.submit(_req())))
+            except ServerClosed:
+                outcome.append(("closed", None))
+
+        t = threading.Thread(target=submitter, daemon=True)
+        t.start()
+        time.sleep(0.05)
+        assert q.fail_pending() == 1
+        t.join(2.0)
+        assert not t.is_alive()
+        assert outcome[0][0] == "admitted"
+        assert first.done and isinstance(first.error, ServerClosed)
+        # the racer's ticket is live in the queue, not failed
+        assert len(q) == 1 and not outcome[0][1].done
+
+    def test_close_then_fail_pending_is_the_no_drain_stop(self):
+        # stop(drain=False) ordering: close() first, fail_pending() second —
+        # the blocked submitter must come out with ServerClosed, not hang.
+        q = AdmissionQueue(max_batch=1, max_pending=1, policy="block")
+        q.submit(_req())
+        errors = []
+
+        def submitter():
+            try:
+                q.submit(_req())
+            except ServerClosed as exc:
+                errors.append(exc)
+
+        t = threading.Thread(target=submitter, daemon=True)
+        t.start()
+        time.sleep(0.05)
+        q.close()
+        q.fail_pending()
+        t.join(2.0)
+        assert not t.is_alive()
+        assert len(errors) == 1
+
+
+class TestStats:
+    def test_queue_counters(self):
+        q = AdmissionQueue(max_batch=2, max_pending=2, policy="reject")
+        q.submit(_req())
+        q.submit(_req())
+        with pytest.raises(ServerBusy):
+            q.submit(_req())
+        q.next_batch(timeout=0.1)
+        q.submit(_req())
+        stats = q.stats()
+        assert stats == {
+            "depth": 1,
+            "capacity": 2,
+            "policy": "reject",
+            "high_water": 2,
+            "admitted": 3,
+            "rejected": 1,
+            "batched": 2,
+        }
+
+    def test_plan_server_surfaces_queue_stats(self):
+        with PlanServer(max_pending=8, admission_policy="block") as srv:
+            srv.request(figure1_loop(4, 4), timeout=60)
+            stats = srv.stats()
+        queue = stats["queue"]
+        assert queue["capacity"] == 8
+        assert queue["policy"] == "block"
+        assert queue["admitted"] == 1 and queue["batched"] == 1
+        assert queue["rejected"] == 0
+        assert queue["high_water"] >= 1
+
+
+class TestTicketCallbacks:
+    def test_done_callback_fires_on_completion_and_late_registration(self):
+        q = AdmissionQueue()
+        ticket = q.submit(_req())
+        seen = []
+        ticket.add_done_callback(lambda t: seen.append("on-complete"))
+        ticket.set_exception(ServerClosed("test"))
+        assert seen == ["on-complete"]
+        ticket.add_done_callback(lambda t: seen.append("late"))
+        assert seen == ["on-complete", "late"]
+        assert isinstance(ticket.error, ServerClosed)
